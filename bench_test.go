@@ -1,0 +1,460 @@
+package structmine
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section 8), plus micro-benchmarks of the kernels and
+// ablations of the design choices called out in DESIGN.md.
+//
+// The per-experiment benchmarks time the algorithmic pipeline for that
+// artifact on the synthetic data sets (generation is excluded from the
+// timed region). DBLP-backed benchmarks run at 20k tuples so the whole
+// suite completes in minutes; cmd/experiments reproduces the artifacts
+// at the paper's full 50k scale.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"structmine/internal/attrs"
+	"structmine/internal/datagen"
+	"structmine/internal/experiments"
+	"structmine/internal/fd"
+	"structmine/internal/fdrank"
+	"structmine/internal/ib"
+	"structmine/internal/it"
+	"structmine/internal/limbo"
+	"structmine/internal/measures"
+	"structmine/internal/relation"
+	"structmine/internal/tuples"
+	"structmine/internal/values"
+)
+
+const benchDBLPTuples = 20000
+
+func benchDB2(b *testing.B) *relation.Relation {
+	b.Helper()
+	db, err := datagen.NewDB2Sample()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db.Joined
+}
+
+var benchDBLPCache *relation.Relation
+
+func benchDBLP(b *testing.B) *relation.Relation {
+	b.Helper()
+	if benchDBLPCache == nil {
+		benchDBLPCache = datagen.NewDBLP(datagen.DBLPConfig{
+			Tuples: benchDBLPTuples, Seed: 1,
+			MiscFrac: 129.0 / 50000, JournalFrac: 0.28,
+		})
+	}
+	return benchDBLPCache
+}
+
+// --- Table 1: erroneous tuple detection ---
+
+func BenchmarkTable1ErroneousTuples(b *testing.B) {
+	r := benchDB2(b)
+	inj := datagen.InjectTupleErrors(r, 5, 4, datagen.Typographic, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := tuples.FindDuplicates(inj.Dirty, 0.15, 4)
+		if len(rep.Assign) != inj.Dirty.N() {
+			b.Fatal("bad report")
+		}
+	}
+}
+
+// --- Table 2: erroneous value placement (double clustering) ---
+
+func BenchmarkTable2ErroneousValues(b *testing.B) {
+	r := benchDB2(b)
+	inj := datagen.InjectTupleErrors(r, 5, 4, datagen.Typographic, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign, k := tuples.Compress(inj.Dirty, 1.0, 4)
+		objs := values.ObjectsOverClusters(inj.Dirty, assign, k)
+		vc := values.Cluster(objs, 0.0, 4, inj.Dirty.M())
+		if len(vc.Assign) != inj.Dirty.D() {
+			b.Fatal("bad clustering")
+		}
+	}
+}
+
+// --- Figure 14: DB2 attribute dendrogram ---
+
+func BenchmarkFigure14DB2Dendrogram(b *testing.B) {
+	r := benchDB2(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vc := values.ClusterRelation(r, 0.0, 4)
+		g := attrs.Group(r, vc)
+		if len(g.Res.Merges) == 0 {
+			b.Fatal("no merges")
+		}
+	}
+}
+
+// --- Table 3: DB2 FD discovery + minimum cover + FD-RANK ---
+
+func BenchmarkTable3DB2FDRank(b *testing.B) {
+	r := benchDB2(b)
+	vc := values.ClusterRelation(r, 0.0, 4)
+	g := attrs.Group(r, vc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fds, err := fd.FDEP(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cover := fd.MinCover(fds)
+		ranked := fdrank.Rank(cover, g, 0.5)
+		if len(ranked) == 0 {
+			b.Fatal("no ranked FDs")
+		}
+	}
+}
+
+// --- Figure 15: DBLP attribute dendrogram via double clustering ---
+
+func BenchmarkFigure15DBLPDendrogram(b *testing.B) {
+	r := benchDBLP(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign, k := tuples.Compress(r, 0.5, 4)
+		objs := values.ObjectsOverClusters(r, assign, k)
+		vc := values.Cluster(objs, 1.0, 4, r.M())
+		g := attrs.Group(r, vc)
+		if len(g.AttrIdx) == 0 {
+			b.Fatal("empty grouping")
+		}
+	}
+}
+
+// --- Table 4: horizontal partitioning of the DBLP projection ---
+
+func BenchmarkTable4HorizontalPartition(b *testing.B) {
+	r := benchDBLP(b)
+	proj := r.Project(datagen.ProjectionAttrs())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := tuples.Partition(proj, 100, 4, 3)
+		if len(res.Clusters) != 3 {
+			b.Fatal("bad partition")
+		}
+	}
+}
+
+// --- Figures 16-18: per-cluster attribute dendrograms ---
+
+func BenchmarkFigure16to18ClusterDendrograms(b *testing.B) {
+	r := benchDBLP(b)
+	proj := r.Project(datagen.ProjectionAttrs())
+	part := tuples.Partition(proj, 100, 4, 3)
+	subs := make([]*relation.Relation, len(part.Clusters))
+	for i, cluster := range part.Clusters {
+		subs[i] = proj.Select(cluster)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sub := range subs {
+			assign, k := tuples.Compress(sub, 0.5, 4)
+			objs := values.ObjectsOverClusters(sub, assign, k)
+			vc := values.Cluster(objs, 1.0, 4, sub.M())
+			attrs.Group(sub, vc)
+		}
+	}
+}
+
+// --- Tables 5-6: per-cluster FD mining + ranking ---
+
+func benchClusterFDs(b *testing.B, wantType string) {
+	r := benchDBLP(b)
+	proj := r.Project(datagen.ProjectionAttrs())
+	part := tuples.Partition(proj, 100, 4, 3)
+	var sub *relation.Relation
+	for _, cluster := range part.Clusters {
+		s := proj.Select(cluster)
+		if clusterType(s) == wantType {
+			sub = s
+			break
+		}
+	}
+	if sub == nil {
+		b.Skipf("no %s cluster at this scale", wantType)
+	}
+	assign, k := tuples.Compress(sub, 0.5, 4)
+	objs := values.ObjectsOverClusters(sub, assign, k)
+	vc := values.Cluster(objs, 1.0, 4, sub.M())
+	g := attrs.Group(sub, vc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fds, err := fd.TANE(sub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cover := fd.MinCover(fds)
+		fdrank.Rank(cover, g, 0.5)
+	}
+}
+
+func clusterType(sub *relation.Relation) string {
+	bt := sub.AttrIndex("BookTitle")
+	jr := sub.AttrIndex("Journal")
+	conf, jour, misc := 0, 0, 0
+	for t := 0; t < sub.N(); t++ {
+		switch {
+		case !sub.IsNull(t, bt):
+			conf++
+		case !sub.IsNull(t, jr):
+			jour++
+		default:
+			misc++
+		}
+	}
+	switch {
+	case conf >= jour && conf >= misc:
+		return "conference"
+	case jour >= misc:
+		return "journal"
+	default:
+		return "misc"
+	}
+}
+
+func BenchmarkTable5Cluster1FDs(b *testing.B) { benchClusterFDs(b, "conference") }
+func BenchmarkTable6Cluster2FDs(b *testing.B) { benchClusterFDs(b, "journal") }
+
+// --- end-to-end experiment drivers (quick scale) ---
+
+func BenchmarkExperimentSuiteQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reports := experiments.All(experiments.QuickScale())
+		if len(reports) != 10 {
+			b.Fatalf("expected 10 reports, got %d", len(reports))
+		}
+	}
+}
+
+// --- micro-benchmarks of the kernels ---
+
+func benchVec(n int, seed int64) it.Vec {
+	rng := rand.New(rand.NewSource(seed))
+	es := make([]it.Entry, n)
+	for i := range es {
+		es[i] = it.Entry{Idx: int32(i * 3), P: rng.Float64() + 0.01}
+	}
+	return it.NewVec(es).Normalize()
+}
+
+func BenchmarkMicroEntropy(b *testing.B) {
+	v := benchVec(1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.Entropy(v)
+	}
+}
+
+func BenchmarkMicroJS(b *testing.B) {
+	p := benchVec(1024, 1)
+	q := benchVec(1024, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.JS(0.4, p, 0.6, q)
+	}
+}
+
+// BenchmarkMicroDeltaISmallVsLarge shows the weighted-sum identity's
+// payoff: δI between a 16-coordinate object and a 100k-coordinate
+// cluster costs O(16), not O(100k).
+func BenchmarkMicroDeltaISmallVsLarge(b *testing.B) {
+	big := limbo.NewDCF(limbo.Obj{ID: 0, W: 0.9, Cond: benchVec(100000, 1)})
+	small := limbo.Obj{ID: 1, W: 0.1, Cond: benchVec(16, 2)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		big.DeltaIObj(small)
+	}
+}
+
+func BenchmarkMicroDCFTreeInsert(b *testing.B) {
+	r := benchDBLP(b)
+	objs := tuples.Objects(r)
+	tau := limbo.Threshold(0.5, limbo.MutualInfo(objs), len(objs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := limbo.NewTree(limbo.Config{B: 4, Threshold: tau})
+		for _, o := range objs {
+			tree.Insert(o)
+		}
+	}
+	b.ReportMetric(float64(len(objs)), "tuples/op")
+}
+
+func BenchmarkMicroAIB(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	objs := make([]ib.Object, 200)
+	for i := range objs {
+		es := make([]it.Entry, 8)
+		for j := range es {
+			es[j] = it.Entry{Idx: int32(rng.Intn(64)), P: rng.Float64() + 0.01}
+		}
+		objs[i] = ib.Object{Label: fmt.Sprint(i), P: 1.0 / 200, Cond: it.NewVec(es).Normalize()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ib.Agglomerate(objs)
+	}
+}
+
+func BenchmarkMicroFDEP(b *testing.B) {
+	r := benchDB2(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fd.FDEP(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroTANE(b *testing.B) {
+	r := benchDB2(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fd.TANE(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroMinCover(b *testing.B) {
+	r := benchDB2(b)
+	fds, err := fd.FDEP(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fd.MinCover(fds)
+	}
+}
+
+func BenchmarkMicroRADRTR(b *testing.B) {
+	r := benchDBLP(b)
+	ix := []int{2, 7, 8, 9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		measures.RAD(r, ix)
+		measures.RTR(r, ix)
+	}
+}
+
+// --- ablations ---
+
+// BenchmarkAblationBranchingFactor varies the DCF-tree fanout B; the
+// paper reports B does not significantly affect quality and uses B=4
+// for insertion speed.
+func BenchmarkAblationBranchingFactor(b *testing.B) {
+	r := benchDBLP(b)
+	objs := tuples.Objects(r)
+	tau := limbo.Threshold(0.5, limbo.MutualInfo(objs), len(objs))
+	for _, fan := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("B=%d", fan), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tree := limbo.NewTree(limbo.Config{B: fan, Threshold: tau})
+				for _, o := range objs {
+					tree.Insert(o)
+				}
+				b.ReportMetric(float64(tree.LeafCount()), "leaves")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPhi varies φT: larger φ creates coarser summaries
+// (fewer leaves) with faster insertion.
+func BenchmarkAblationPhi(b *testing.B) {
+	r := benchDBLP(b)
+	objs := tuples.Objects(r)
+	mi := limbo.MutualInfo(objs)
+	for _, phi := range []float64{0.25, 0.5, 1.0, 2.0} {
+		b.Run(fmt.Sprintf("phi=%.2f", phi), func(b *testing.B) {
+			tau := limbo.Threshold(phi, mi, len(objs))
+			for i := 0; i < b.N; i++ {
+				tree := limbo.NewTree(limbo.Config{B: 4, Threshold: tau})
+				for _, o := range objs {
+					tree.Insert(o)
+				}
+				b.ReportMetric(float64(tree.LeafCount()), "leaves")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDoubleClustering compares direct value clustering
+// with double clustering on a mid-size instance — the paper's Section
+// 6.2 scalability argument.
+func BenchmarkAblationDoubleClustering(b *testing.B) {
+	r := datagen.NewDBLP(datagen.DBLPConfig{Tuples: 4000, Seed: 1, MiscFrac: 0.002, JournalFrac: 0.28})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			values.Cluster(values.Objects(r), 1.0, 4, r.M())
+		}
+	})
+	b.Run("double", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			assign, k := tuples.Compress(r, 0.5, 4)
+			values.Cluster(values.ObjectsOverClusters(r, assign, k), 1.0, 4, r.M())
+		}
+	})
+}
+
+// BenchmarkAblationFDEPvsTANE sweeps the instance size to expose the
+// crossover between the pairwise FDEP and the level-wise TANE — the
+// reason Discover dispatches on size.
+func BenchmarkAblationFDEPvsTANE(b *testing.B) {
+	base := benchDBLP(b)
+	proj := base.Project(datagen.ProjectionAttrs())
+	for _, n := range []int{100, 400, 1600} {
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i * (proj.N() / n)
+		}
+		sub := proj.Select(rows)
+		b.Run(fmt.Sprintf("FDEP/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fd.FDEP(sub); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("TANE/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fd.TANE(sub); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationApproxFDs times the approximate miner against the
+// exact one at matched scope.
+func BenchmarkAblationApproxFDs(b *testing.B) {
+	r := benchDB2(b)
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fd.MineApprox(r, 0, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("eps=0.05", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fd.MineApprox(r, 0.05, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

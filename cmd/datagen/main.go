@@ -1,0 +1,85 @@
+// Command datagen emits the synthetic evaluation data sets as CSV.
+//
+// Usage:
+//
+//	datagen db2  [-errors N -values K -out dir]   # DB2 sample + join
+//	datagen dblp [-tuples N -seed S -out dir]     # DBLP author relation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"structmine/internal/datagen"
+	"structmine/internal/relation"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: datagen <db2|dblp> [flags]")
+	}
+	fs := flag.NewFlagSet(args[0], flag.ContinueOnError)
+	out := fs.String("out", ".", "output directory")
+	tuplesN := fs.Int("tuples", 50000, "DBLP size (author-rows)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	errN := fs.Int("errors", 0, "inject N dirty tuples into the joined relation")
+	errVals := fs.Int("values", 2, "altered values per dirty tuple")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	write := func(r *relation.Relation, name string) error {
+		path := filepath.Join(*out, name)
+		if err := r.WriteCSVFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d tuples, %d attributes, %d values)\n", path, r.N(), r.M(), r.D())
+		return nil
+	}
+
+	switch args[0] {
+	case "db2":
+		db, err := datagen.NewDB2Sample()
+		if err != nil {
+			return err
+		}
+		for _, pair := range []struct {
+			r    *relation.Relation
+			name string
+		}{
+			{db.Employee, "employee.csv"},
+			{db.Department, "department.csv"},
+			{db.Project, "project.csv"},
+		} {
+			if err := write(pair.r, pair.name); err != nil {
+				return err
+			}
+		}
+		joined := db.Joined
+		if *errN > 0 {
+			inj := datagen.InjectTupleErrors(joined, *errN, *errVals, datagen.Typographic, *seed)
+			joined = inj.Dirty
+			fmt.Printf("injected %d dirty tuples (%d altered values each)\n", *errN, *errVals)
+		}
+		return write(joined, "db2sample.csv")
+
+	case "dblp":
+		r := datagen.NewDBLP(datagen.DBLPConfig{
+			Tuples: *tuplesN, Seed: *seed,
+			MiscFrac: 129.0 / 50000, JournalFrac: 0.28,
+		})
+		return write(r, "dblp.csv")
+
+	default:
+		return fmt.Errorf("unknown data set %q", args[0])
+	}
+}

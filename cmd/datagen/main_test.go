@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"structmine/internal/relation"
+)
+
+func silently(t *testing.T, f func() error) error {
+	t.Helper()
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() {
+		os.Stdout = old
+		devNull.Close()
+	}()
+	return f()
+}
+
+func TestRunDB2(t *testing.T) {
+	dir := t.TempDir()
+	err := silently(t, func() error {
+		return run([]string{"db2", "-out", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"employee.csv", "department.csv", "project.csv", "db2sample.csv"} {
+		r, err := relation.ReadCSVFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.N() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+	joined, err := relation.ReadCSVFile(filepath.Join(dir, "db2sample.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.N() != 90 || joined.M() != 19 {
+		t.Fatalf("joined shape %dx%d", joined.N(), joined.M())
+	}
+}
+
+func TestRunDB2WithErrors(t *testing.T) {
+	dir := t.TempDir()
+	err := silently(t, func() error {
+		return run([]string{"db2", "-out", dir, "-errors", "5", "-values", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := relation.ReadCSVFile(filepath.Join(dir, "db2sample.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.N() != 95 {
+		t.Fatalf("dirty n=%d, want 95", joined.N())
+	}
+}
+
+func TestRunDBLP(t *testing.T) {
+	dir := t.TempDir()
+	err := silently(t, func() error {
+		return run([]string{"dblp", "-out", dir, "-tuples", "300", "-seed", "5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := relation.ReadCSVFile(filepath.Join(dir, "dblp.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 300 || r.M() != 13 {
+		t.Fatalf("dblp shape %dx%d", r.N(), r.M())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args should error")
+	}
+	if err := run([]string{"unknown"}); err == nil {
+		t.Error("unknown data set should error")
+	}
+	if err := silently(t, func() error {
+		return run([]string{"db2", "-out", "/nonexistent/dir"})
+	}); err == nil {
+		t.Error("unwritable output dir should error")
+	}
+}

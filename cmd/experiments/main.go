@@ -1,0 +1,98 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints them, optionally as the EXPERIMENTS.md document.
+//
+// Usage:
+//
+//	experiments [-scale paper|quick] [-only table3] [-md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"structmine/internal/experiments"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out, errw io.Writer) (int, error) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	scale := fs.String("scale", "paper", "experiment scale: paper (50k DBLP) or quick (2k)")
+	only := fs.String("only", "", "run a single experiment by id (e.g. table1, figure15)")
+	md := fs.Bool("md", false, "emit Markdown (EXPERIMENTS.md body)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	var s experiments.Scale
+	switch *scale {
+	case "paper":
+		s = experiments.PaperScale()
+	case "quick":
+		s = experiments.QuickScale()
+	default:
+		return 2, fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	start := time.Now()
+	var reports []experiments.Report
+	if *only != "" {
+		for _, r := range experiments.All(s) {
+			if r.ID == *only {
+				reports = append(reports, r)
+			}
+		}
+		if len(reports) == 0 {
+			return 2, fmt.Errorf("no experiment with id %q", *only)
+		}
+	} else {
+		reports = experiments.All(s)
+	}
+
+	failures := 0
+	for _, r := range reports {
+		if *md {
+			printMarkdown(out, r)
+		} else {
+			fmt.Fprintln(out, r.String())
+		}
+		if !r.OK() {
+			failures++
+		}
+	}
+	fmt.Fprintf(errw, "ran %d experiments in %v; %d with failing shape checks\n",
+		len(reports), time.Since(start).Round(time.Millisecond), failures)
+	if failures > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func printMarkdown(out io.Writer, r experiments.Report) {
+	fmt.Fprintf(out, "## %s — %s\n\n", strings.ToUpper(r.ID[:1])+r.ID[1:], r.Title)
+	fmt.Fprintf(out, "**Paper reports:** %s\n\n", r.Paper)
+	fmt.Fprintf(out, "**Measured:**\n\n```\n%s```\n\n", r.Body)
+	if len(r.ShapeHolds) > 0 {
+		fmt.Fprintln(out, "| shape check | status | note |")
+		fmt.Fprintln(out, "|---|---|---|")
+		for _, c := range r.ShapeHolds {
+			status := "PASS"
+			if !c.OK {
+				status = "FAIL"
+			}
+			fmt.Fprintf(out, "| %s | %s | %s |\n", c.Name, status, strings.ReplaceAll(c.Note, "|", "/"))
+		}
+		fmt.Fprintln(out)
+	}
+}

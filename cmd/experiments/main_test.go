@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentText(t *testing.T) {
+	var out, errw strings.Builder
+	code, err := run([]string{"-scale", "quick", "-only", "table3"}, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d; stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "table3") {
+		t.Fatalf("missing experiment output: %s", out.String())
+	}
+	if !strings.Contains(errw.String(), "ran 1 experiments") {
+		t.Fatalf("missing summary: %s", errw.String())
+	}
+}
+
+func TestRunMarkdownMode(t *testing.T) {
+	var out, errw strings.Builder
+	code, err := run([]string{"-scale", "quick", "-only", "figure14", "-md"}, &out, &errw)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	for _, want := range []string{"## Figure14", "**Paper reports:**", "| shape check | status | note |"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var out, errw strings.Builder
+	if code, _ := run([]string{"-scale", "galactic"}, &out, &errw); code != 2 {
+		t.Fatalf("bad scale should exit 2, got %d", code)
+	}
+	if code, _ := run([]string{"-only", "table99", "-scale", "quick"}, &out, &errw); code != 2 {
+		t.Fatalf("unknown experiment should exit 2, got %d", code)
+	}
+	if code, _ := run([]string{"-notaflag"}, &out, &errw); code != 2 {
+		t.Fatalf("bad flag should exit 2, got %d", code)
+	}
+}

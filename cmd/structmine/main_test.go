@@ -1,0 +1,135 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"structmine/internal/datagen"
+)
+
+// writeFixture materializes the DB2 sample join (with a few injected
+// duplicates) as a CSV for CLI testing.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	db, err := datagen.NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := datagen.InjectExactDuplicates(db.Joined, 2, 7)
+	path := filepath.Join(t.TempDir(), "db2.csv")
+	if err := inj.Dirty.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// writeNarrowFixture writes a 6-attribute projection of the join for the
+// arity-bounded MVD miner.
+func writeNarrowFixture(t *testing.T) string {
+	t.Helper()
+	db, err := datagen.NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := db.Joined.AttrIndices([]string{"EmpNo", "WorkDepNo", "DepName", "ProjNo", "ProjName", "Job"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db2narrow.csv")
+	if err := db.Joined.Project(ix).WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllTasks(t *testing.T) {
+	path := writeFixture(t)
+	narrowPath := writeNarrowFixture(t)
+	tasks := [][]string{
+		{"describe", path},
+		{"report", path},
+		{"dedup", "-phit", "0.1", path},
+		{"partition", "-k", "2", path},
+		{"values", path},
+		{"group-attrs", path},
+		{"mine-fds", path},
+		{"approx-fds", "-eps", "0.05", path},
+		{"rank-fds", "-top", "5", path},
+		{"decompose", path},
+		{"mine-mvds", "-top", "3", narrowPath},
+	}
+	// Silence stdout during the run.
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() {
+		os.Stdout = old
+		devNull.Close()
+	}()
+
+	for _, args := range tasks {
+		if err := run(args); err != nil {
+			t.Errorf("task %v failed: %v", args, err)
+		}
+	}
+}
+
+func TestRunJoinsTask(t *testing.T) {
+	db, err := datagen.NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var paths []string
+	for _, pair := range []struct {
+		name string
+		rel  interface{ WriteCSVFile(string) error }
+	}{
+		{"emp.csv", db.Employee}, {"dep.csv", db.Department}, {"proj.csv", db.Project},
+	} {
+		p := filepath.Join(dir, pair.name)
+		if err := pair.rel.WriteCSVFile(p); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	old := os.Stdout
+	devNull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devNull
+	err = run(append([]string{"joins", "-mincont", "0.95"}, paths...))
+	errOne := run([]string{"joins", paths[0]})
+	os.Stdout = old
+	devNull.Close()
+	if err != nil {
+		t.Fatalf("joins task failed: %v", err)
+	}
+	if errOne == nil {
+		t.Fatal("joins with one file should error")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args should error")
+	}
+	if err := run([]string{"describe"}); err == nil {
+		t.Error("missing file should error")
+	}
+	if err := run([]string{"describe", "/nonexistent.csv"}); err == nil {
+		t.Error("unreadable file should error")
+	}
+	path := writeFixture(t)
+	old := os.Stdout
+	devNull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devNull
+	err := run([]string{"frobnicate", path})
+	os.Stdout = old
+	devNull.Close()
+	if err == nil {
+		t.Error("unknown task should error")
+	}
+}

@@ -1,0 +1,90 @@
+// DBLP redesign: the paper's Section 8.2 workflow end to end.
+//
+// An integrated publication relation (one row per author, 13 attributes,
+// NULL-ridden after schema mapping) is analyzed for a better design:
+//
+//  1. attribute grouping exposes the six ≥98%-NULL attributes that the
+//     mapping introduced — they should be stored separately;
+//
+//  2. the remaining attributes are horizontally partitioned, separating
+//     conference from journal publications;
+//
+//  3. per partition, functional dependencies are mined and ranked,
+//     suggesting vertical decompositions (e.g. the journal partition's
+//     Volume/Year/Journal correlations).
+//
+//     go run ./examples/dblp_redesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"structmine"
+	"structmine/internal/datagen"
+)
+
+func main() {
+	rel := datagen.NewDBLP(datagen.DBLPConfig{Tuples: 6000, Seed: 7, MiscFrac: 0.003, JournalFrac: 0.28})
+	m := structmine.NewMiner(rel, structmine.Options{PhiT: 0.5, PhiV: 1.0})
+	fmt.Println(m.Describe())
+
+	// Step 1: which attributes carry (almost) no information?
+	fmt.Println("\n-- step 1: attribute grouping (double clustering, φT=0.5, φV=1.0) --")
+	g, _ := m.GroupAttributes(true)
+	fmt.Print(g.Dendrogram().ASCII(70))
+	fmt.Println("\nNULL fractions:")
+	var nullHeavy []string
+	for a := 0; a < rel.M(); a++ {
+		f := rel.NullFraction(a)
+		marker := ""
+		if f >= 0.95 {
+			marker = "  <- set aside before partitioning"
+			nullHeavy = append(nullHeavy, rel.Attrs[a])
+		}
+		fmt.Printf("  %-12s %5.1f%%%s\n", rel.Attrs[a], 100*f, marker)
+	}
+	fmt.Printf("\nanomalous attributes: %v\n", nullHeavy)
+
+	// Step 2: project them out and partition horizontally.
+	fmt.Println("\n-- step 2: horizontal partitioning of the projection --")
+	keep, err := rel.AttrIndices([]string{"Author", "Pages", "BookTitle", "Year", "Volume", "Journal", "Number"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	proj := rel.Project(keep)
+	pm := structmine.NewMiner(proj, structmine.DefaultOptions())
+	part := pm.HorizontalPartition(2)
+	for i, cluster := range part.Clusters {
+		fmt.Printf("  partition %d: %d tuples, e.g. %v\n", i+1, len(cluster), proj.TupleStrings(cluster[0]))
+	}
+
+	// Step 3: rank FDs within each partition.
+	for i, cluster := range part.Clusters {
+		sub := proj.Select(cluster)
+		sm := structmine.NewMiner(sub, structmine.Options{PhiT: 0.5, PhiV: 1.0})
+		fds, err := sm.MineFDs()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cover := structmine.MinCover(fds)
+		ranked, err := sm.RankFDs(cover)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n-- step 3: partition %d (%d tuples, %d FDs in cover) --\n", i+1, sub.N(), len(cover))
+		for j, rf := range ranked {
+			if j >= 4 {
+				break
+			}
+			rad, rtr := sm.MeasureFD(rf.FD)
+			fmt.Printf("  %d. %-44s rank=%.3f RAD=%.3f RTR=%.3f\n",
+				j+1, sm.FormatFD(rf.FD), rf.Rank, rad, rtr)
+		}
+	}
+
+	fmt.Println("\nA decomposition following the top-ranked dependencies stores the")
+	fmt.Println("all-NULL attributes once, splits conference from journal rows, and")
+	fmt.Println("factors the journal issue structure (Journal, Volume, Number, Year)")
+	fmt.Println("into its own relation.")
+}

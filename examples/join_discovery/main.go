@@ -1,0 +1,91 @@
+// Join discovery: reverse-engineer an integrated view from raw tables.
+//
+// The paper's DB2 experiments start from a relation R built by joining
+// EMPLOYEE, DEPARTMENT and PROJECT. A redesign tool facing raw tables
+// must first find those join paths. This example runs the Bellman-style
+// value-resemblance scan over the three base tables, picks the
+// discovered foreign keys, materializes the join, and then applies
+// FD-RANK to recover the decomposition structure — closing the loop:
+// the top-ranked dependencies point straight back at the base tables we
+// joined.
+//
+//	go run ./examples/join_discovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"structmine"
+	"structmine/internal/datagen"
+	"structmine/internal/relation"
+)
+
+func main() {
+	db, err := datagen.NewDB2Sample()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables := []*structmine.Relation{db.Employee, db.Department, db.Project}
+	for _, t := range tables {
+		fmt.Printf("%-12s %3d tuples × %2d attributes\n", t.Name, t.N(), t.M())
+	}
+
+	// Step 1: find joinable attribute pairs by value containment.
+	fmt.Println("\n-- step 1: join-path discovery (containment ≥ 0.99) --")
+	cands := structmine.FindJoinable(tables, 0.99, 5)
+	for _, c := range cands {
+		fmt.Printf("  %s.%s ⊆ %s.%s  (containment %.2f, jaccard %.2f, %d→%d values)\n",
+			c.FromRelation, c.FromAttr, c.ToRelation, c.ToAttr,
+			c.Containment, c.Jaccard, c.FromDistinct, c.ToDistinct)
+	}
+
+	// Step 2: materialize the discovered star join around DEPARTMENT.
+	fmt.Println("\n-- step 2: materialize the discovered join --")
+	ed, err := relation.EquiJoin(db.Employee, "WorkDepNo", db.Department, "DepNo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	joined, err := relation.EquiJoin(ed, "WorkDepNo", db.Project, "DeptNo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	joined.Name = "R"
+	fmt.Printf("  R = (E ⋈ D) ⋈ P: %d tuples × %d attributes, %d values\n",
+		joined.N(), joined.M(), joined.D())
+
+	// Step 3: the structure tools recover the design.
+	fmt.Println("\n-- step 3: FD-RANK over the integrated view --")
+	m := structmine.NewMiner(joined, structmine.DefaultOptions())
+	fds, err := m.MineFDs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked, err := m.RankFDs(structmine.MinCover(fds))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, rf := range ranked {
+		if i >= 4 {
+			break
+		}
+		rad, rtr := m.MeasureFD(rf.FD)
+		fmt.Printf("  %d. %-56s rank=%.4f RAD=%.3f RTR=%.3f\n",
+			i+1, m.FormatFD(rf.FD), rf.Rank, rad, rtr)
+	}
+
+	// Step 4: decompose on the winner and verify losslessness.
+	fmt.Println("\n-- step 4: decompose on the top-ranked dependency --")
+	for _, rf := range ranked {
+		res, err := m.Decompose(rf.FD)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  split on %s\n", m.FormatFD(rf.FD))
+		fmt.Printf("  S1 %v: %d rows (the rediscovered dimension table)\n", res.S1.Attrs, res.S1.N())
+		fmt.Printf("  S2 %v: %d rows\n", res.S2.Attrs, res.S2.N())
+		fmt.Printf("  storage %d -> %d cells (%.1f%% saved), lossless\n",
+			res.CellsBefore, res.CellsAfter, 100*res.Reduction)
+		break
+	}
+}

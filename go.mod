@@ -1,0 +1,3 @@
+module structmine
+
+go 1.22

@@ -1,0 +1,282 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+
+	"structmine/internal/fd"
+	"structmine/internal/relation"
+)
+
+func TestDB2SampleShape(t *testing.T) {
+	db, err := NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := db.Joined
+	if r.N() != 90 {
+		t.Fatalf("n=%d, want 90 (paper)", r.N())
+	}
+	if r.M() != 19 {
+		t.Fatalf("m=%d, want 19 (paper)", r.M())
+	}
+	// "255 attribute values" in the paper; the synthetic instance must be
+	// in the same regime.
+	if r.D() < 150 || r.D() > 350 {
+		t.Fatalf("d=%d, want ≈255", r.D())
+	}
+	if db.Department.N() != 9 {
+		t.Fatalf("departments %d", db.Department.N())
+	}
+	if db.Employee.N() != 34 || db.Project.N() != 23 {
+		t.Fatalf("employees=%d projects=%d", db.Employee.N(), db.Project.N())
+	}
+}
+
+func TestDB2SampleDeterministic(t *testing.T) {
+	a, err := NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Joined.N() != b.Joined.N() {
+		t.Fatal("non-deterministic")
+	}
+	for i := 0; i < a.Joined.N(); i++ {
+		if !reflect.DeepEqual(a.Joined.TupleStrings(i), b.Joined.TupleStrings(i)) {
+			t.Fatalf("row %d differs across builds", i)
+		}
+	}
+}
+
+func TestDB2SampleKeyFDsHold(t *testing.T) {
+	db, err := NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := db.Joined
+	idx := func(name string) int {
+		i := r.AttrIndex(name)
+		if i < 0 {
+			t.Fatalf("missing attribute %s in %v", name, r.Attrs)
+		}
+		return i
+	}
+	cases := []struct {
+		lhs, rhs []string
+	}{
+		{[]string{"WorkDepNo"}, []string{"DepName", "MgrNo", "AdminDepNo"}},
+		{[]string{"DepName"}, []string{"MgrNo"}},
+		{[]string{"EmpNo"}, []string{"FirstName", "LastName", "PhoneNo", "HireYear", "BirthYear"}},
+		{[]string{"ProjNo"}, []string{"ProjName", "RespEmpNo", "StartDate", "MajorProjNo"}},
+	}
+	for _, c := range cases {
+		var lhs, rhs fd.AttrSet
+		for _, n := range c.lhs {
+			lhs = lhs.Add(idx(n))
+		}
+		for _, n := range c.rhs {
+			rhs = rhs.Add(idx(n))
+		}
+		if !fd.Holds(r, fd.FD{LHS: lhs, RHS: rhs}) {
+			t.Errorf("expected FD %v -> %v to hold", c.lhs, c.rhs)
+		}
+	}
+	// EmpNo must NOT determine ProjNo (employees join with several
+	// projects) — this is what makes the join redundant.
+	if fd.Holds(r, fd.FD{LHS: fd.NewAttrSet(idx("EmpNo")), RHS: fd.NewAttrSet(idx("ProjNo"))}) {
+		t.Error("EmpNo→ProjNo should not hold in the joined relation")
+	}
+}
+
+func TestDBLPShape(t *testing.T) {
+	cfg := DBLPConfig{Tuples: 5000, Seed: 7, MiscFrac: 129.0 / 50000, JournalFrac: 0.28}
+	r := NewDBLP(cfg)
+	if r.N() != 5000 {
+		t.Fatalf("n=%d", r.N())
+	}
+	if r.M() != 13 {
+		t.Fatalf("m=%d, want 13", r.M())
+	}
+	if got := r.Attrs[8]; got != "Journal" {
+		t.Fatalf("attr 8 = %s", got)
+	}
+	// The six anomalous attributes are ≥ 95% NULL (paper: over 98%).
+	for _, a := range NullHeavyAttrs() {
+		if f := r.NullFraction(a); f < 0.95 {
+			t.Errorf("attribute %s null fraction %v, want ≥ 0.95", r.Attrs[a], f)
+		}
+	}
+	// Author and Year are never NULL.
+	if r.NullFraction(0) != 0 || r.NullFraction(2) != 0 {
+		t.Error("Author/Year should be fully populated")
+	}
+}
+
+func TestDBLPMixMatchesConfig(t *testing.T) {
+	cfg := DBLPConfig{Tuples: 4000, Seed: 3, MiscFrac: 0.01, JournalFrac: 0.3}
+	r := NewDBLP(cfg)
+	conf, journal, misc := 0, 0, 0
+	for t2 := 0; t2 < r.N(); t2++ {
+		switch {
+		case !r.IsNull(t2, 5): // BookTitle set
+			conf++
+		case !r.IsNull(t2, 8): // Journal set
+			journal++
+		default:
+			misc++
+		}
+	}
+	if journal < 1100 || journal > 1300 {
+		t.Errorf("journal rows %d, want ≈1200", journal)
+	}
+	if misc < 20 || misc > 60 {
+		t.Errorf("misc rows %d, want ≈40", misc)
+	}
+	if conf+journal+misc != 4000 {
+		t.Errorf("rows don't add up: %d+%d+%d", conf, journal, misc)
+	}
+}
+
+func TestDBLPJournalCorrelations(t *testing.T) {
+	r := NewDBLP(DBLPConfig{Tuples: 3000, Seed: 11, JournalFrac: 0.5, MiscFrac: 0})
+	// Within journal rows, (Journal, Volume) determines Year by
+	// construction — the correlation behind the paper's Table 6.
+	var journalRows []int
+	for t2 := 0; t2 < r.N(); t2++ {
+		if !r.IsNull(t2, 8) {
+			journalRows = append(journalRows, t2)
+		}
+	}
+	sub := r.Select(journalRows)
+	jv := fd.NewAttrSet(sub.AttrIndex("Journal"), sub.AttrIndex("Volume"))
+	year := fd.NewAttrSet(sub.AttrIndex("Year"))
+	if !fd.Holds(sub, fd.FD{LHS: jv, RHS: year}) {
+		t.Error("Journal,Volume → Year should hold in journal rows")
+	}
+}
+
+func TestDBLPDeterministicBySeed(t *testing.T) {
+	a := NewDBLP(DBLPConfig{Tuples: 500, Seed: 42})
+	b := NewDBLP(DBLPConfig{Tuples: 500, Seed: 42})
+	for i := 0; i < a.N(); i++ {
+		if !reflect.DeepEqual(a.TupleStrings(i), b.TupleStrings(i)) {
+			t.Fatalf("row %d differs for same seed", i)
+		}
+	}
+	c := NewDBLP(DBLPConfig{Tuples: 500, Seed: 43})
+	same := true
+	for i := 0; i < a.N(); i++ {
+		if !reflect.DeepEqual(a.TupleStrings(i), c.TupleStrings(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestDBLPDefaults(t *testing.T) {
+	cfg := DefaultDBLPConfig()
+	if cfg.Tuples != 50000 {
+		t.Fatalf("default tuples %d", cfg.Tuples)
+	}
+	r := NewDBLP(DBLPConfig{}) // zero config gets defaults applied
+	if r.N() != 50000 {
+		t.Fatalf("zero-config n=%d", r.N())
+	}
+}
+
+func TestProjectionAttrs(t *testing.T) {
+	r := NewDBLP(DBLPConfig{Tuples: 100, Seed: 1})
+	proj := ProjectionAttrs()
+	if len(proj)+len(NullHeavyAttrs()) != r.M() {
+		t.Fatalf("projection %d + null-heavy %d != %d", len(proj), len(NullHeavyAttrs()), r.M())
+	}
+	seen := map[int]bool{}
+	for _, a := range append(append([]int{}, proj...), NullHeavyAttrs()...) {
+		if seen[a] {
+			t.Fatalf("attribute %d listed twice", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestInjectTypographicErrors(t *testing.T) {
+	db, err := NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := InjectTupleErrors(db.Joined, 5, 2, Typographic, 99)
+	if inj.Dirty.N() != 95 {
+		t.Fatalf("dirty n=%d", inj.Dirty.N())
+	}
+	if len(inj.DirtyTuples) != 5 {
+		t.Fatalf("dirty tuples %d", len(inj.DirtyTuples))
+	}
+	for i, dt := range inj.DirtyTuples {
+		src := inj.Sources[i]
+		altered := map[int]bool{}
+		for _, a := range inj.AlteredAttrs[i] {
+			altered[a] = true
+		}
+		if len(altered) != 2 {
+			t.Fatalf("tuple %d altered %d attrs", i, len(altered))
+		}
+		for a := 0; a < inj.Dirty.M(); a++ {
+			want := db.Joined.TupleStrings(src)[a]
+			got := inj.Dirty.TupleStrings(dt)[a]
+			if altered[a] {
+				if got == want {
+					t.Fatalf("attr %d should differ", a)
+				}
+			} else if got != want {
+				t.Fatalf("attr %d should match source", a)
+			}
+		}
+	}
+}
+
+func TestInjectSchemaDiscrepancy(t *testing.T) {
+	db, err := NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := InjectTupleErrors(db.Joined, 3, 4, SchemaDiscrepancy, 7)
+	for i, dt := range inj.DirtyTuples {
+		for _, a := range inj.AlteredAttrs[i] {
+			if inj.Dirty.TupleStrings(dt)[a] != relation.Null {
+				t.Fatalf("schema discrepancy should insert NULL")
+			}
+		}
+	}
+}
+
+func TestInjectExactDuplicates(t *testing.T) {
+	db, err := NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := InjectExactDuplicates(db.Joined, 4, 5)
+	for i, dt := range inj.DirtyTuples {
+		src := inj.Sources[i]
+		if !reflect.DeepEqual(inj.Dirty.TupleStrings(dt), db.Joined.TupleStrings(src)) {
+			t.Fatalf("duplicate %d differs from source", i)
+		}
+	}
+}
+
+func TestInjectClampsNumValues(t *testing.T) {
+	db, err := NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := InjectTupleErrors(db.Joined, 1, 100, Typographic, 1)
+	if len(inj.AlteredAttrs[0]) != db.Joined.M() {
+		t.Fatalf("altered %d, want all %d", len(inj.AlteredAttrs[0]), db.Joined.M())
+	}
+}

@@ -1,0 +1,146 @@
+// Package datagen synthesizes the paper's two evaluation data sets:
+//
+//   - the DB2 sample database (EMPLOYEE, DEPARTMENT, PROJECT and their
+//     join R, Figure 12) — the original ships with IBM DB2 and is
+//     proprietary, so an equivalent instance with the same schema, join
+//     expression, scale (90 tuples, 19 attributes, ≈255 values) and
+//     correlation structure is generated deterministically;
+//   - a DBLP-like integrated publication relation (Figure 13's 13
+//     attributes, one row per author, conference/journal/misc mix with
+//     six ≥98%-NULL attributes), sized by configuration.
+//
+// It also provides the error injectors used by Tables 1 and 2
+// (typographic / notational / schema-discrepancy errors).
+package datagen
+
+import (
+	"fmt"
+
+	"structmine/internal/relation"
+)
+
+// DB2 bundles the three synthetic base tables and their join.
+type DB2 struct {
+	Employee   *relation.Relation
+	Department *relation.Relation
+	Project    *relation.Relation
+	// Joined is R = (E ⋈ WorkDepNo=DepNo D) ⋈ DepNo=DeptNo P:
+	// 90 tuples over 19 attributes.
+	Joined *relation.Relation
+}
+
+type dept struct {
+	no, name, mgr, admin string
+	emps, projs          int
+}
+
+// The department plan fixes the join fan-out: Σ emps·projs = 90.
+var db2Depts = []dept{
+	{"A00", "SPIFFY COMPUTER SERVICE DIV.", "000010", "A00", 3, 2},
+	{"B01", "PLANNING", "000020", "A00", 2, 2},
+	{"C01", "INFORMATION CENTER", "000030", "A00", 3, 2},
+	{"D11", "MANUFACTURING SYSTEMS", "000060", "A00", 5, 3},
+	{"D21", "ADMINISTRATION SYSTEMS", "000070", "A00", 4, 3},
+	{"E11", "OPERATIONS", "000090", "E01", 5, 3},
+	{"E21", "SOFTWARE SUPPORT", "000100", "E01", 4, 2},
+	{"F22", "BRANCH OFFICE F2", "000140", "E01", 4, 3},
+	{"G33", "BRANCH OFFICE G3", "000160", "E01", 4, 3},
+}
+
+var db2FirstNames = []string{
+	"CHRISTINE", "MICHAEL", "SALLY", "JOHN", "IRVING", "EVA", "EILEEN",
+	"THEODORE", "VINCENZO", "SEAN", "DOLORES", "HEATHER", "BRUCE",
+	"ELIZABETH", "MASATOSHI", "MARILYN", "JAMES", "DAVID", "WILLIAM",
+	"JENNIFER", "JASON", "SARAH", "DANIEL", "MARIA", "RAMLAL", "WING",
+	"JASON", "HELENA", "DELORES", "GREG", "KIM", "PHILIP", "MAUDE", "RAY",
+}
+
+var db2LastNames = []string{
+	"HAAS", "THOMPSON", "KWAN", "GEYER", "STERN", "PULASKI", "HENDERSON",
+	"SPENSER", "LUCCHESSI", "OCONNELL", "QUINTANA", "NICHOLLS", "ADAMSON",
+	"PIANKA", "YOSHIMURA", "SCOUTTEN", "WALKER", "BROWN", "JONES",
+	"LUTZ", "JEFFERSON", "MARINO", "SMITH", "LEE", "MEHTA", "LOO",
+	"GOUNOT", "WONG", "JOHNSON", "PEREZ", "SETRIGHT", "PARKER", "SMITH", "MONTEVERDE",
+}
+
+var db2Jobs = []string{"PRES", "MANAGER", "DESIGNER", "ANALYST", "CLERK", "OPERATOR", "SALESREP", "FIELDREP"}
+
+var db2ProjNames = []string{
+	"ADMIN SERVICES", "GENERAL ADMIN", "PAYROLL PROGRAMMING", "PERSONNEL",
+	"ACCOUNT PROGRAMMING", "WELD LINE AUTOMATION", "W L PROGRAMMING",
+	"W L PROGRAM DESIGN", "W L ROBOT DESIGN", "OPERATION SUPPORT",
+	"SCP SYSTEMS SUPPORT", "APPLICATIONS SUPPORT", "DB/DC SUPPORT",
+	"QUERY SERVICES", "USER EDUCATION", "OPERATION", "GEN SYSTEMS SERVICES",
+	"SYSTEMS SUPPORT", "PROGRAM MAINT", "DOC MAINT", "BRANCH F2 OPS",
+	"BRANCH G3 OPS", "INVENTORY CONTROL",
+}
+
+// NewDB2Sample deterministically builds the synthetic DB2 sample
+// database and its joined relation.
+func NewDB2Sample() (*DB2, error) {
+	depB := relation.NewBuilder("DEPARTMENT", []string{"DepNo", "DepName", "MgrNo", "AdminDepNo"})
+	for _, d := range db2Depts {
+		depB.MustAdd(d.no, d.name, d.mgr, d.admin)
+	}
+
+	empB := relation.NewBuilder("EMPLOYEE", []string{
+		"EmpNo", "FirstName", "LastName", "PhoneNo", "HireYear",
+		"Job", "EduLevel", "Sex", "BirthYear", "WorkDepNo",
+	})
+	empNo := 0
+	for di, d := range db2Depts {
+		for e := 0; e < d.emps; e++ {
+			id := fmt.Sprintf("%06d", 10*(empNo+1))
+			first := db2FirstNames[empNo%len(db2FirstNames)]
+			last := db2LastNames[empNo%len(db2LastNames)]
+			phone := fmt.Sprintf("%04d", 3978+137*empNo%6000)
+			hire := fmt.Sprintf("%d", 1965+(empNo*7)%25)
+			job := db2Jobs[(di+e)%len(db2Jobs)]
+			edu := fmt.Sprintf("%d", 14+(empNo*3)%7)
+			sex := "F"
+			if empNo%2 == 1 {
+				sex = "M"
+			}
+			birth := fmt.Sprintf("%d", 1933+(empNo*5)%30)
+			empB.MustAdd(id, first, last, phone, hire, job, edu, sex, birth, d.no)
+			empNo++
+		}
+	}
+
+	projB := relation.NewBuilder("PROJECT", []string{
+		"ProjNo", "ProjName", "RespEmpNo", "StartDate", "EndDate", "MajorProjNo", "DeptNo",
+	})
+	projNo := 0
+	empBase := 0
+	for _, d := range db2Depts {
+		for p := 0; p < d.projs; p++ {
+			id := fmt.Sprintf("%s1%d0", d.no[:2], p+1)
+			name := db2ProjNames[projNo%len(db2ProjNames)]
+			// The responsible employee cycles through the department's
+			// staff (not always the manager), and the date cycles are
+			// mutually prime, so no accidental equivalences arise.
+			resp := fmt.Sprintf("%06d", 10*(empBase+p%d.emps+1))
+			start := fmt.Sprintf("1982-01-0%d", 1+projNo%5)
+			end := fmt.Sprintf("1983-%02d-15", 1+projNo%7)
+			major := fmt.Sprintf("%s110", d.no[:2])
+			if p == 0 {
+				major = "" // root projects have no major project (NULL)
+			}
+			projB.MustAdd(id, name, resp, start, end, major, d.no)
+			projNo++
+		}
+		empBase += d.emps
+	}
+
+	emp, dep, proj := empB.Relation(), depB.Relation(), projB.Relation()
+	ed, err := relation.EquiJoin(emp, "WorkDepNo", dep, "DepNo")
+	if err != nil {
+		return nil, fmt.Errorf("datagen: joining EMPLOYEE with DEPARTMENT: %w", err)
+	}
+	joined, err := relation.EquiJoin(ed, "WorkDepNo", proj, "DeptNo")
+	if err != nil {
+		return nil, fmt.Errorf("datagen: joining with PROJECT: %w", err)
+	}
+	joined.Name = "DB2SampleR"
+	return &DB2{Employee: emp, Department: dep, Project: proj, Joined: joined}, nil
+}

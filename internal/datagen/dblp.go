@@ -1,0 +1,191 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"structmine/internal/relation"
+)
+
+// DBLPConfig sizes and seeds the synthetic DBLP relation.
+type DBLPConfig struct {
+	// Tuples is the approximate number of author-rows to generate
+	// (the paper's instance has 50,000).
+	Tuples int
+	// Seed drives the deterministic PRNG.
+	Seed int64
+	// MiscFrac is the fraction of miscellaneous rows (theses, tech
+	// reports); the paper's instance has 129/50,000 ≈ 0.26%.
+	MiscFrac float64
+	// JournalFrac is the fraction of journal author-rows
+	// (13,979/50,000 ≈ 28% in the paper); the rest are conference rows.
+	JournalFrac float64
+}
+
+// DefaultDBLPConfig mirrors the paper's instance.
+func DefaultDBLPConfig() DBLPConfig {
+	return DBLPConfig{Tuples: 50000, Seed: 1, MiscFrac: 129.0 / 50000, JournalFrac: 0.28}
+}
+
+// DBLPAttrs is the target schema of Figure 13 (13 attributes).
+var DBLPAttrs = []string{
+	"Author", "Publisher", "Year", "Editor", "Pages", "BookTitle",
+	"Month", "Volume", "Journal", "Number", "School", "Series", "ISBN",
+}
+
+// NULL-heavy attribute indices (the six anomalous attributes of the
+// paper's Figure 15 analysis): Publisher, Editor, Month, School, Series,
+// ISBN.
+var dblpNullHeavy = []int{1, 3, 6, 10, 11, 12}
+
+// NewDBLP synthesizes the integrated publication relation: one tuple per
+// (publication, author) pair, with the schema-mapping NULL anomalies the
+// paper analyzes. The mix, NULL pattern, and journal Volume/Number/Year
+// correlations match the paper's observations; names, venues, and page
+// numbers are synthetic.
+func NewDBLP(cfg DBLPConfig) *relation.Relation {
+	if cfg.Tuples <= 0 {
+		cfg.Tuples = 50000
+	}
+	if cfg.JournalFrac <= 0 {
+		cfg.JournalFrac = 0.28
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	nMisc := int(float64(cfg.Tuples) * cfg.MiscFrac)
+	nJournal := int(float64(cfg.Tuples) * cfg.JournalFrac)
+	nConf := cfg.Tuples - nJournal - nMisc
+
+	authorPool := cfg.Tuples/3 + 100
+	author := func() string {
+		// Zipf-ish reuse: a small head of prolific authors.
+		if rng.Float64() < 0.3 {
+			return fmt.Sprintf("Author %d", rng.Intn(authorPool/20+1))
+		}
+		return fmt.Sprintf("Author %d", rng.Intn(authorPool))
+	}
+
+	nConfVenues := nConf/150 + 5
+	nJournals := nJournal/400 + 3
+
+	const null = relation.Null
+	var rows [][]string
+	row := make([]string, len(DBLPAttrs))
+	clear := func() {
+		for i := range row {
+			row[i] = null
+		}
+	}
+	emit := func() {
+		rows = append(rows, append([]string(nil), row...))
+	}
+	pageCounter := 0
+	pages := func() string {
+		pageCounter++
+		start := 1 + (pageCounter*17)%800
+		return fmt.Sprintf("%d-%d", start, start+8+pageCounter%20)
+	}
+
+	// Conference author-rows. A small share belongs to a Series (the
+	// paper's "SIGMOD publications in SIGMOD Record" case), carrying
+	// Publisher/ISBN/Series values — these keep the NULL-heavy
+	// attributes just under 100% NULL.
+	emitted := 0
+	for emitted < nConf {
+		venue := rng.Intn(nConfVenues)
+		year := 1970 + rng.Intn(34)
+		nAuthors := 1 + rng.Intn(4)
+		pg := pages()
+		inSeries := rng.Float64() < 0.015
+		for a := 0; a < nAuthors && emitted < nConf; a++ {
+			clear()
+			row[0] = author()
+			row[2] = fmt.Sprintf("%d", year)
+			row[4] = pg
+			row[5] = fmt.Sprintf("Conf %d %d", venue, year)
+			if inSeries {
+				row[11] = fmt.Sprintf("Series %d", venue%7)
+				row[1] = fmt.Sprintf("Publisher %d", venue%9)
+				row[12] = fmt.Sprintf("ISBN-%d-%d", venue, year)
+			}
+			emit()
+			emitted++
+		}
+	}
+
+	// Journal author-rows: Volume is determined by (journal, year) and
+	// Number cycles 1..4, reproducing the correlations behind Table 6.
+	emitted = 0
+	journalBase := make([]int, nJournals)
+	for j := range journalBase {
+		journalBase[j] = 1960 + rng.Intn(25)
+	}
+	for emitted < nJournal {
+		j := rng.Intn(nJournals)
+		year := journalBase[j] + 1 + rng.Intn(2003-journalBase[j])
+		volume := year - journalBase[j]
+		number := 1 + rng.Intn(4)
+		nAuthors := 1 + rng.Intn(3)
+		pg := pages()
+		for a := 0; a < nAuthors && emitted < nJournal; a++ {
+			clear()
+			row[0] = author()
+			row[2] = fmt.Sprintf("%d", year)
+			row[4] = pg
+			row[7] = fmt.Sprintf("%d", volume)
+			row[8] = fmt.Sprintf("Journal %d", j)
+			row[9] = fmt.Sprintf("%d", number)
+			if rng.Float64() < 0.02 {
+				row[6] = monthName(rng.Intn(12))
+			}
+			emit()
+			emitted++
+		}
+	}
+
+	// Miscellaneous rows: theses and tech reports, single-author.
+	for i := 0; i < nMisc; i++ {
+		clear()
+		row[0] = author()
+		row[2] = fmt.Sprintf("%d", 1975+rng.Intn(29))
+		switch rng.Intn(3) {
+		case 0: // thesis
+			row[10] = fmt.Sprintf("University %d", rng.Intn(40))
+			row[6] = monthName(rng.Intn(12))
+		case 1: // tech report
+			row[10] = fmt.Sprintf("University %d", rng.Intn(40))
+			row[9] = fmt.Sprintf("TR-%d", rng.Intn(500))
+		default: // book
+			row[1] = fmt.Sprintf("Publisher %d", rng.Intn(9))
+			row[12] = fmt.Sprintf("ISBN-%d", rng.Intn(10000))
+			row[3] = fmt.Sprintf("Editor %d", rng.Intn(60))
+		}
+		emit()
+	}
+
+	// Integrated data arrives interleaved, not grouped by publication
+	// type; a deterministic shuffle removes the grouping artifact that
+	// would otherwise skew the adaptive DCF-tree.
+	rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+	b := relation.NewBuilder("DBLP", DBLPAttrs)
+	for _, r := range rows {
+		b.MustAdd(r...)
+	}
+	return b.Relation()
+}
+
+// NullHeavyAttrs returns the indices of the six anomalous attributes the
+// paper sets aside before horizontal partitioning.
+func NullHeavyAttrs() []int { return append([]int(nil), dblpNullHeavy...) }
+
+// ProjectionAttrs returns the complement: {Author, Pages, BookTitle,
+// Year, Volume, Journal, Number}, the attribute set the paper projects
+// onto before partitioning.
+func ProjectionAttrs() []int { return []int{0, 4, 5, 2, 7, 8, 9} }
+
+func monthName(i int) string {
+	return [...]string{
+		"January", "February", "March", "April", "May", "June", "July",
+		"August", "September", "October", "November", "December",
+	}[i%12]
+}

@@ -1,0 +1,89 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"structmine/internal/relation"
+)
+
+// ErrorKind selects the flavor of injected discrepancy.
+type ErrorKind int
+
+const (
+	// Typographic replaces a value with a corrupted variant of it
+	// ("Pat" → "Pat~3"), modeling typos across sources.
+	Typographic ErrorKind = iota
+	// SchemaDiscrepancy replaces a value with NULL, modeling unknown
+	// values filled during integration.
+	SchemaDiscrepancy
+	// Notational reformats a value while keeping it recognizable
+	// ("000010" → "k:000010:3"), modeling the paper's differing
+	// employee-number schemes between sources.
+	Notational
+)
+
+// Injection records the dirty tuples appended to a relation.
+type Injection struct {
+	// Dirty is the new relation: the original tuples followed by the
+	// injected ones.
+	Dirty *relation.Relation
+	// DirtyTuples are the indices of the injected tuples in Dirty.
+	DirtyTuples []int
+	// Sources[i] is the original tuple DirtyTuples[i] was copied from.
+	Sources []int
+	// AlteredAttrs[i] lists the attribute indices changed in tuple i.
+	AlteredAttrs [][]int
+	// ReplacedValues[i][j] is the original string at AlteredAttrs[i][j].
+	ReplacedValues [][]string
+	// NewValues[i][j] is the injected string at AlteredAttrs[i][j].
+	NewValues [][]string
+}
+
+// InjectTupleErrors copies numTuples random tuples, alters numValues of
+// their attribute values each (per the chosen kind), and appends them.
+// Used by the Table 1/2 experiments: φT/φV clustering should re-associate
+// each dirty tuple (value) with its source.
+func InjectTupleErrors(r *relation.Relation, numTuples, numValues int, kind ErrorKind, seed int64) *Injection {
+	rng := rand.New(rand.NewSource(seed))
+	m := r.M()
+	if numValues > m {
+		numValues = m
+	}
+	b := relation.NewBuilder(r.Name+"-dirty", r.Attrs)
+	for t := 0; t < r.N(); t++ {
+		b.MustAdd(r.TupleStrings(t)...)
+	}
+	inj := &Injection{}
+	for i := 0; i < numTuples; i++ {
+		src := rng.Intn(r.N())
+		row := r.TupleStrings(src)
+		attrs := rng.Perm(m)[:numValues]
+		var replaced, added []string
+		for _, a := range attrs {
+			replaced = append(replaced, row[a])
+			switch kind {
+			case SchemaDiscrepancy:
+				row[a] = relation.Null
+			case Notational:
+				row[a] = fmt.Sprintf("k:%s:%d", row[a], i)
+			default:
+				row[a] = fmt.Sprintf("%s~%d", row[a], i)
+			}
+			added = append(added, row[a])
+		}
+		b.MustAdd(row...)
+		inj.DirtyTuples = append(inj.DirtyTuples, r.N()+i)
+		inj.Sources = append(inj.Sources, src)
+		inj.AlteredAttrs = append(inj.AlteredAttrs, attrs)
+		inj.ReplacedValues = append(inj.ReplacedValues, replaced)
+		inj.NewValues = append(inj.NewValues, added)
+	}
+	inj.Dirty = b.Relation()
+	return inj
+}
+
+// InjectExactDuplicates appends numTuples exact copies of random tuples.
+func InjectExactDuplicates(r *relation.Relation, numTuples int, seed int64) *Injection {
+	return InjectTupleErrors(r, numTuples, 0, Typographic, seed)
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure10ShapeHolds(t *testing.T) {
+	rep := Figure10(QuickScale())
+	for _, c := range rep.ShapeHolds {
+		if !c.OK {
+			t.Errorf("shape check failed: %s (%s)\n%s", c.Name, c.Note, rep.Body)
+		}
+	}
+}
+
+func TestTable1ShapeHolds(t *testing.T) {
+	rep := Table1(QuickScale())
+	if rep.ID != "table1" || rep.Body == "" {
+		t.Fatalf("malformed report: %+v", rep)
+	}
+	for _, c := range rep.ShapeHolds {
+		if !c.OK {
+			t.Errorf("shape check failed: %s (%s)\n%s", c.Name, c.Note, rep.Body)
+		}
+	}
+}
+
+func TestTable2ShapeHolds(t *testing.T) {
+	rep := Table2(QuickScale())
+	for _, c := range rep.ShapeHolds {
+		if !c.OK {
+			t.Errorf("shape check failed: %s (%s)\n%s", c.Name, c.Note, rep.Body)
+		}
+	}
+}
+
+func TestFigure14ShapeHolds(t *testing.T) {
+	rep := Figure14(QuickScale())
+	for _, c := range rep.ShapeHolds {
+		if !c.OK {
+			t.Errorf("shape check failed: %s (%s)\n%s", c.Name, c.Note, rep.Body)
+		}
+	}
+	if !strings.Contains(rep.Body, "EmpNo") {
+		t.Error("dendrogram should show attribute names")
+	}
+}
+
+func TestTable3ShapeHolds(t *testing.T) {
+	rep := Table3(QuickScale())
+	for _, c := range rep.ShapeHolds {
+		if !c.OK {
+			t.Errorf("shape check failed: %s (%s)\n%s", c.Name, c.Note, rep.Body)
+		}
+	}
+}
+
+func TestDBLPSuiteShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DBLP pipeline in -short mode")
+	}
+	for _, rep := range DBLPSuite(QuickScale()) {
+		for _, c := range rep.ShapeHolds {
+			if !c.OK {
+				t.Errorf("%s: shape check failed: %s (%s)\n%s", rep.ID, c.Name, c.Note, rep.Body)
+			}
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{
+		ID: "x", Title: "T", Paper: "p", Body: "b\n",
+		ShapeHolds: []ShapeCheck{{Name: "n", OK: true, Note: "fine"}},
+	}
+	s := rep.String()
+	for _, want := range []string{"== x: T ==", "paper: p", "b", "[PASS] n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in %q", want, s)
+		}
+	}
+	if !rep.OK() {
+		t.Error("OK() should be true")
+	}
+	rep.ShapeHolds = append(rep.ShapeHolds, ShapeCheck{Name: "bad", OK: false})
+	if rep.OK() {
+		t.Error("OK() should be false with a failing check")
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"structmine/internal/relation"
+)
+
+func TestPurityOf(t *testing.T) {
+	counts := []map[string]int{
+		{"jour": 100},
+		{"conf": 200, "misc": 2},
+	}
+	if p := purityOf(counts, "jour"); math.Abs(p-1.0) > 1e-12 {
+		t.Fatalf("pure journal purity %v", p)
+	}
+	// conf: recall 1, precision 200/202.
+	if p := purityOf(counts, "conf"); math.Abs(p-200.0/202) > 1e-12 {
+		t.Fatalf("conf purity %v", p)
+	}
+	if p := purityOf(counts, "absent"); p != 0 {
+		t.Fatalf("absent type purity %v", p)
+	}
+	if p := purityOf(nil, "jour"); p != 0 {
+		t.Fatalf("empty counts purity %v", p)
+	}
+	// Split type: 50/50 over two clusters, each pure → 0.5.
+	split := []map[string]int{{"x": 50}, {"x": 50}}
+	if p := purityOf(split, "x"); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("split purity %v", p)
+	}
+}
+
+func TestRowTypeAndDominantType(t *testing.T) {
+	b := relation.NewBuilder("p", []string{"BookTitle", "Journal", "Year"})
+	b.MustAdd("SIGMOD", "", "2004") // conference
+	b.MustAdd("", "TODS", "2004")   // journal
+	b.MustAdd("", "", "2004")       // misc
+	b.MustAdd("VLDB", "", "2003")   // conference
+	r := b.Relation()
+	if got := rowType(r, 0); got != "conf" {
+		t.Fatalf("row 0: %s", got)
+	}
+	if got := rowType(r, 1); got != "jour" {
+		t.Fatalf("row 1: %s", got)
+	}
+	if got := rowType(r, 2); got != "misc" {
+		t.Fatalf("row 2: %s", got)
+	}
+	if got := dominantType(r); got != "conference" {
+		t.Fatalf("dominant: %s", got)
+	}
+	jb := relation.NewBuilder("j", []string{"BookTitle", "Journal"})
+	jb.MustAdd("", "TODS")
+	jb.MustAdd("", "VLDBJ")
+	if got := dominantType(jb.Relation()); got != "journal" {
+		t.Fatalf("journal dominant: %s", got)
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtF([]float64{0.5, 1}); got != "[0.50 1.00]" {
+		t.Fatalf("fmtF: %s", got)
+	}
+	if got := minF([]float64{0.7, 0.2, 0.9}); got != 0.2 {
+		t.Fatalf("minF: %v", got)
+	}
+	if got := minF(nil); got != 0 {
+		t.Fatalf("minF empty: %v", got)
+	}
+	if got := first([]float64{3, 4}); got != 3 {
+		t.Fatalf("first: %v", got)
+	}
+	if got := first(nil); got != -1 {
+		t.Fatalf("first empty: %v", got)
+	}
+}
+
+func TestAttrIdxOf(t *testing.T) {
+	names := []string{"A", "B", "C"}
+	if got := attrIdxOf(names, "C", "A"); len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Fatalf("attrIdxOf: %v", got)
+	}
+	if got := attrIdxOf(names, "Z"); len(got) != 0 {
+		t.Fatalf("unknown attr: %v", got)
+	}
+}
+
+func TestCheckHelper(t *testing.T) {
+	c := check("name", true, "value %d", 7)
+	if !c.OK || c.Name != "name" || !strings.Contains(c.Note, "7") {
+		t.Fatalf("check: %+v", c)
+	}
+}
+
+func TestDB2SourceTable(t *testing.T) {
+	cases := map[string]string{
+		"EmpNo":   "EMPLOYEE",
+		"DepName": "DEPARTMENT",
+		"ProjNo":  "PROJECT",
+	}
+	for attr, want := range cases {
+		if got := db2SourceTable(attr); got != want {
+			t.Errorf("%s → %s, want %s", attr, got, want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"structmine/internal/relation"
+)
+
+// ApproxFD is an approximate functional dependency: X → A holds after
+// removing an Err fraction of tuples (the g3 measure of Huhtala et al.).
+// The paper's Section 6.2 connects these to almost-perfect value
+// co-occurrence: a single erroneous value turns an exact dependency
+// (Figure 4's C→B) into an approximate one (Figure 5).
+type ApproxFD struct {
+	FD  FD
+	Err float64 // g3 ∈ [0, 1); 0 means the FD holds exactly
+}
+
+// MineApprox returns all minimal approximate dependencies X → A with
+// g3(X→A) ≤ eps, level-wise over the left-hand-side lattice with
+// stripped partitions. Minimality is with respect to the approximate
+// relation: no proper subset of X satisfies the error bound. Exact FDs
+// (g3 = 0) are included with Err = 0.
+//
+// maxLHS bounds the left-hand-side size (0 means no bound). The miner is
+// exponential in the worst case like any lattice search; the bound keeps
+// interactive use cheap on wide relations.
+func MineApprox(r *relation.Relation, eps float64, maxLHS int) ([]ApproxFD, error) {
+	m := r.M()
+	if m > MaxAttrs {
+		return nil, fmt.Errorf("fd: relation has %d attributes, max %d", m, MaxAttrs)
+	}
+	if r.N() == 0 || m == 0 {
+		return nil, nil
+	}
+	if eps < 0 {
+		eps = 0
+	}
+	if maxLHS <= 0 || maxLHS > m-1 {
+		maxLHS = m - 1
+	}
+	n := r.N()
+
+	// Partitions per LHS set, built level by level.
+	parts := map[AttrSet]*partition{0: emptyPartition(n)}
+	for a := 0; a < m; a++ {
+		parts[NewAttrSet(a)] = singlePartition(r, a)
+	}
+
+	// found[a] lists the minimal satisfying LHSs discovered so far for
+	// attribute a; candidates that contain one are pruned.
+	found := make([][]AttrSet, m)
+	var out []ApproxFD
+
+	record := func(x AttrSet, a int, err float64) {
+		found[a] = append(found[a], x)
+		out = append(out, ApproxFD{FD: FD{LHS: x, RHS: NewAttrSet(a)}, Err: err})
+	}
+
+	// Level 0: ∅ → a.
+	for a := 0; a < m; a++ {
+		if err := g3FromPartitions(parts[0], parts[NewAttrSet(a)], n); err <= eps {
+			record(0, a, err)
+		}
+	}
+
+	level := make([]AttrSet, 0, m)
+	for a := 0; a < m; a++ {
+		level = append(level, NewAttrSet(a))
+	}
+	for size := 1; size <= maxLHS && len(level) > 0; size++ {
+		for _, x := range level {
+		rhs:
+			for a := 0; a < m; a++ {
+				if x.Has(a) {
+					continue
+				}
+				for _, min := range found[a] {
+					if min.SubsetOf(x) {
+						continue rhs // a superset cannot be minimal
+					}
+				}
+				xa := x.Add(a)
+				pxa, ok := parts[xa]
+				if !ok {
+					pxa = product(parts[x], parts[NewAttrSet(a)], n)
+					parts[xa] = pxa
+				}
+				if err := g3FromPartitions(parts[x], pxa, n); err <= eps {
+					record(x, a, err)
+				}
+			}
+		}
+		if size == maxLHS {
+			break
+		}
+		// Next level: extend by one attribute; skip candidates that are
+		// supersets of a found LHS for every possible RHS? LHS pruning
+		// must stay RHS-specific, so we only dedupe here.
+		next := map[AttrSet]bool{}
+		for _, x := range level {
+			for a := 0; a < m; a++ {
+				if !x.Has(a) {
+					next[x.Add(a)] = true
+				}
+			}
+		}
+		level = level[:0]
+		for x := range next {
+			if _, ok := parts[x]; !ok {
+				// Build via any single-attribute split.
+				a := x.Attrs()[0]
+				parts[x] = product(parts[x.Remove(a)], parts[NewAttrSet(a)], n)
+			}
+			level = append(level, x)
+		}
+		sort.Slice(level, func(i, j int) bool { return level[i] < level[j] })
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FD.LHS != out[j].FD.LHS {
+			return out[i].FD.LHS < out[j].FD.LHS
+		}
+		return out[i].FD.RHS < out[j].FD.RHS
+	})
+	return out, nil
+}
+
+// g3FromPartitions computes g3(X→A) = 1 − keep/n where keep is the
+// number of tuples that can stay: for every equivalence class of Π_X,
+// the size of its largest Π_{X∪A} subclass.
+//
+// With stripped partitions, singleton classes of Π_X always keep their
+// tuple, and within a stripped class of Π_X the tuples outside every
+// stripped subclass of Π_{X∪A} are singletons there (each keeps at most
+// one representative... exactly one tuple can stay only if it is the
+// majority; a singleton subclass contributes one candidate). The
+// standard identity:
+//
+//	keep = n − size(Π_X) + Σ_{c ∈ Π_X} maxSubclass(c)
+//
+// where maxSubclass(c) is the largest Π_{X∪A} class inside c (at least
+// 1, counting singletons).
+func g3FromPartitions(px, pxa *partition, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	// Map each tuple to its stripped Π_{X∪A} class id (-1 = singleton).
+	classOf := make(map[int32]int32, pxa.size)
+	for ci, cls := range pxa.classes {
+		for _, t := range cls {
+			classOf[t] = int32(ci)
+		}
+	}
+	keep := n - px.size // singletons of Π_X always stay
+	counts := map[int32]int{}
+	for _, cls := range px.classes {
+		for k := range counts {
+			delete(counts, k)
+		}
+		best := 1 // a lone representative can always stay
+		for _, t := range cls {
+			ci, ok := classOf[t]
+			if !ok {
+				continue // singleton in Π_{X∪A}
+			}
+			counts[ci]++
+			if counts[ci] > best {
+				best = counts[ci]
+			}
+		}
+		keep += best
+	}
+	g := 1 - float64(keep)/float64(n)
+	if g < 0 {
+		g = 0
+	}
+	return g
+}

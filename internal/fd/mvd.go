@@ -1,0 +1,153 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"structmine/internal/relation"
+)
+
+// MVD is a multivalued dependency X →→ Y (with Z = R − X − Y implied).
+// The paper's related work covers MVD discovery (Savnik & Flach 2000);
+// MVDs justify the lossless binary decompositions that FDs cannot, so a
+// structure miner benefits from checking them alongside FDs.
+type MVD struct {
+	LHS AttrSet
+	RHS AttrSet
+}
+
+// Format renders "[X]->->[Y]" with attribute names.
+func (v MVD) Format(names []string) string {
+	return v.LHS.Format(names) + "->->" + v.RHS.Format(names)
+}
+
+// MVDHolds reports whether X →→ Y holds: within every X-group, the
+// projections on Y and on Z = R−X−Y are independent, i.e. the group is
+// exactly the cross product of its Y-side and Z-side value combinations.
+func MVDHolds(r *relation.Relation, v MVD) bool {
+	x := v.LHS
+	y := v.RHS.Minus(x)
+	z := FullSet(r.M()).Minus(x).Minus(y)
+	if y.Empty() || z.Empty() {
+		return true // trivial MVD
+	}
+	type group struct {
+		ys, zs map[string]bool
+		rows   map[string]bool
+	}
+	groups := map[string]*group{}
+	key := func(attrs []int, t int) string {
+		buf := make([]byte, 0, 32)
+		for _, a := range attrs {
+			vid := r.Value(t, a)
+			buf = append(buf, byte(vid), byte(vid>>8), byte(vid>>16), byte(vid>>24), 0xfc)
+		}
+		return string(buf)
+	}
+	xa, ya, za := x.Attrs(), y.Attrs(), z.Attrs()
+	for t := 0; t < r.N(); t++ {
+		k := key(xa, t)
+		g := groups[k]
+		if g == nil {
+			g = &group{ys: map[string]bool{}, zs: map[string]bool{}, rows: map[string]bool{}}
+			groups[k] = g
+		}
+		yk, zk := key(ya, t), key(za, t)
+		g.ys[yk] = true
+		g.zs[zk] = true
+		g.rows[yk+"\x00"+zk] = true
+	}
+	for _, g := range groups {
+		if len(g.rows) != len(g.ys)*len(g.zs) {
+			return false
+		}
+	}
+	return true
+}
+
+// MineMVDs enumerates the non-trivial multivalued dependencies X →→ Y
+// holding in the instance with |X| ≤ maxLHS, keeping for each X only the
+// ⊆-minimal right-hand sides (the dependency basis elements found by the
+// scan). Y candidates range over the non-X attributes; Y and its
+// complement are reported once (the lexicographically smaller side).
+//
+// The search is exponential in the arity, as any MVD miner's is; the
+// maxLHS bound (default 2) and the m ≤ 16 guard keep it interactive.
+// FDs imply MVDs (X → Y ⟹ X →→ Y); pass skipFDImplied to suppress those.
+func MineMVDs(r *relation.Relation, maxLHS int, skipFDImplied bool) ([]MVD, error) {
+	m := r.M()
+	if m > 16 {
+		return nil, fmt.Errorf("fd: MVD mining limited to 16 attributes, got %d", m)
+	}
+	if r.N() == 0 || m < 3 {
+		return nil, nil
+	}
+	if maxLHS <= 0 {
+		maxLHS = 2
+	}
+	if maxLHS > m-2 {
+		maxLHS = m - 2
+	}
+	var fds []FD
+	if skipFDImplied {
+		var err error
+		fds, err = TANE(r)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	full := FullSet(m)
+	var out []MVD
+	var lhsSets []AttrSet
+	for x := AttrSet(0); x <= full; x++ {
+		if x.SubsetOf(full) && x.Count() <= maxLHS {
+			lhsSets = append(lhsSets, x)
+		}
+	}
+	sort.Slice(lhsSets, func(i, j int) bool {
+		if c1, c2 := lhsSets[i].Count(), lhsSets[j].Count(); c1 != c2 {
+			return c1 < c2
+		}
+		return lhsSets[i] < lhsSets[j]
+	})
+
+	for _, x := range lhsSets {
+		rest := full.Minus(x)
+		if rest.Count() < 2 {
+			continue
+		}
+		var minimal []AttrSet
+		// Enumerate Y ⊂ rest, non-empty, proper; canonical side only.
+		restAttrs := rest.Attrs()
+		limit := 1 << uint(len(restAttrs))
+	candidates:
+		for mask := 1; mask < limit-1; mask++ {
+			var y AttrSet
+			for i, a := range restAttrs {
+				if mask&(1<<uint(i)) != 0 {
+					y = y.Add(a)
+				}
+			}
+			comp := rest.Minus(y)
+			if comp < y {
+				continue // report the smaller side once
+			}
+			for _, seen := range minimal {
+				if seen.SubsetOf(y) {
+					continue candidates // not minimal
+				}
+			}
+			v := MVD{LHS: x, RHS: y}
+			if !MVDHolds(r, v) {
+				continue
+			}
+			if skipFDImplied && (Implies(fds, FD{LHS: x, RHS: y}) || Implies(fds, FD{LHS: x, RHS: comp})) {
+				continue
+			}
+			minimal = append(minimal, y)
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}

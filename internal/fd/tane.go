@@ -1,0 +1,287 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"structmine/internal/relation"
+)
+
+// TANE mines all minimal, non-trivial functional dependencies holding in
+// the instance with the level-wise algorithm of Huhtala et al. (1999),
+// using stripped partitions and the C+ (rhs-candidate) pruning rules.
+// It scales to tens of thousands of tuples, unlike the pairwise FDEP.
+func TANE(r *relation.Relation) ([]FD, error) {
+	m := r.M()
+	if m > MaxAttrs {
+		return nil, fmt.Errorf("fd: relation has %d attributes, max %d", m, MaxAttrs)
+	}
+	if r.N() == 0 || m == 0 {
+		return nil, nil
+	}
+	t := &tane{r: r, m: m, n: r.N(), full: FullSet(m), cache: map[cplusKey]bool{}}
+	t.run()
+	SortFDs(t.out)
+	return t.out, nil
+}
+
+// partition is a stripped partition: only equivalence classes with at
+// least two tuples are kept.
+type partition struct {
+	classes [][]int32
+	size    int // total tuples in stripped classes
+}
+
+// errVal is e(X) = (tuples in stripped classes) − (number of classes);
+// X→A holds iff e(X) == e(X∪A).
+func (p *partition) errVal() int { return p.size - len(p.classes) }
+
+// superkey reports whether the partition has only singleton classes.
+func (p *partition) superkey() bool { return len(p.classes) == 0 }
+
+// singlePartition builds Π_{A} for one attribute.
+func singlePartition(r *relation.Relation, a int) *partition {
+	groups := map[int32][]int32{}
+	for t := 0; t < r.N(); t++ {
+		v := r.Value(t, a)
+		groups[v] = append(groups[v], int32(t))
+	}
+	p := &partition{}
+	keys := make([]int32, 0, len(groups))
+	for v := range groups {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, v := range keys {
+		g := groups[v]
+		if len(g) >= 2 {
+			p.classes = append(p.classes, g)
+			p.size += len(g)
+		}
+	}
+	return p
+}
+
+// emptyPartition is Π_∅: one class with all tuples (stripped keeps it
+// when n ≥ 2).
+func emptyPartition(n int) *partition {
+	if n < 2 {
+		return &partition{}
+	}
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	return &partition{classes: [][]int32{all}, size: n}
+}
+
+// product computes the stripped partition Π_{X∪Y} = Π_X · Π_Y with the
+// probe-table algorithm (linear in the stripped sizes).
+func product(a, b *partition, n int) *partition {
+	tClass := make([]int32, n)
+	for i := range tClass {
+		tClass[i] = -1
+	}
+	for ci, cls := range b.classes {
+		for _, t := range cls {
+			tClass[t] = int32(ci)
+		}
+	}
+	res := &partition{}
+	bucket := map[int32][]int32{}
+	for _, cls := range a.classes {
+		for k := range bucket {
+			delete(bucket, k)
+		}
+		for _, t := range cls {
+			if bc := tClass[t]; bc >= 0 {
+				bucket[bc] = append(bucket[bc], t)
+			}
+		}
+		keys := make([]int32, 0, len(bucket))
+		for k := range bucket {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			g := bucket[k]
+			if len(g) >= 2 {
+				cp := append([]int32(nil), g...)
+				res.classes = append(res.classes, cp)
+				res.size += len(cp)
+			}
+		}
+	}
+	return res
+}
+
+type levelNode struct {
+	part  *partition
+	cplus AttrSet
+}
+
+type tane struct {
+	r     *relation.Relation
+	m, n  int
+	full  AttrSet
+	out   []FD
+	cache map[cplusKey]bool
+}
+
+type cplusKey struct {
+	a int
+	y AttrSet
+}
+
+// inCPlusByDef tests A ∈ C+(Y) from the definition
+//
+//	C+(Y) = { A ∈ R | ∀B ∈ Y: Y\{A,B} → B does not hold }
+//
+// with direct satisfaction checks. It is the fallback used by the
+// key-pruning rule when a sibling set was itself pruned from the level,
+// so its stored C+ is unavailable (treating it as empty would lose
+// minimal FDs whose left-hand side is a key; see the regression tests).
+func (t *tane) inCPlusByDef(a int, y AttrSet) bool {
+	k := cplusKey{a, y}
+	if v, ok := t.cache[k]; ok {
+		return v
+	}
+	res := true
+	for _, b := range y.Attrs() {
+		lhs := y.Remove(a).Remove(b)
+		if Holds(t.r, FD{LHS: lhs, RHS: NewAttrSet(b)}) {
+			res = false
+			break
+		}
+	}
+	t.cache[k] = res
+	return res
+}
+
+func (t *tane) run() {
+	// Level 0.
+	prev := map[AttrSet]*levelNode{
+		0: {part: emptyPartition(t.n), cplus: t.full},
+	}
+	// Level 1.
+	cur := map[AttrSet]*levelNode{}
+	for a := 0; a < t.m; a++ {
+		cur[NewAttrSet(a)] = &levelNode{part: singlePartition(t.r, a)}
+	}
+
+	for len(cur) > 0 {
+		t.computeDependencies(cur, prev)
+		t.prune(cur)
+		next := t.generate(cur)
+		prev = cur
+		cur = next
+	}
+}
+
+func (t *tane) computeDependencies(level, prev map[AttrSet]*levelNode) {
+	for x, node := range level {
+		cp := t.full
+		for _, a := range x.Attrs() {
+			sub, ok := prev[x.Remove(a)]
+			if !ok {
+				cp = 0
+				break
+			}
+			cp = cp.Intersect(sub.cplus)
+		}
+		node.cplus = cp
+	}
+	for x, node := range level {
+		for _, a := range x.Intersect(node.cplus).Attrs() {
+			sub, ok := prev[x.Remove(a)]
+			if !ok {
+				continue
+			}
+			if sub.part.errVal() == node.part.errVal() {
+				t.out = append(t.out, FD{LHS: x.Remove(a), RHS: NewAttrSet(a)})
+				node.cplus = node.cplus.Remove(a)
+				node.cplus = node.cplus.Minus(t.full.Minus(x))
+			}
+		}
+	}
+}
+
+func (t *tane) prune(level map[AttrSet]*levelNode) {
+	// Deletions are deferred so the key-pruning rule can still consult
+	// the C+ sets of same-level nodes.
+	var toDelete []AttrSet
+	for x, node := range level {
+		if node.cplus.Empty() {
+			toDelete = append(toDelete, x)
+			continue
+		}
+		if node.part.superkey() {
+			for _, a := range node.cplus.Minus(x).Attrs() {
+				// a ∈ ∩_{B∈X} C+(X ∪ {a} \ {B})
+				inAll := true
+				for _, b := range x.Attrs() {
+					y := x.Add(a).Remove(b)
+					if ynode, ok := level[y]; ok {
+						if !ynode.cplus.Has(a) {
+							inAll = false
+							break
+						}
+					} else if !t.inCPlusByDef(a, y) {
+						inAll = false
+						break
+					}
+				}
+				if inAll {
+					t.out = append(t.out, FD{LHS: x, RHS: NewAttrSet(a)})
+				}
+			}
+			toDelete = append(toDelete, x)
+		}
+	}
+	for _, x := range toDelete {
+		delete(level, x)
+	}
+}
+
+func (t *tane) generate(level map[AttrSet]*levelNode) map[AttrSet]*levelNode {
+	// Prefix join: sort sets; two sets combine when they share all but
+	// their largest attribute.
+	keys := make([]AttrSet, 0, len(level))
+	for x := range level {
+		keys = append(keys, x)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	next := map[AttrSet]*levelNode{}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			x, y := keys[i], keys[j]
+			hx, hy := highest(x), highest(y)
+			if x.Remove(hx) != y.Remove(hy) {
+				continue
+			}
+			z := x.Union(y)
+			if _, done := next[z]; done {
+				continue
+			}
+			// All |Z|-1 subsets must be present at the current level.
+			ok := true
+			for _, a := range z.Attrs() {
+				if _, present := level[z.Remove(a)]; !present {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			next[z] = &levelNode{part: product(level[x].part, level[y].part, t.n)}
+		}
+	}
+	return next
+}
+
+func highest(s AttrSet) int {
+	attrs := s.Attrs()
+	return attrs[len(attrs)-1]
+}

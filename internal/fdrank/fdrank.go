@@ -1,0 +1,93 @@
+// Package fdrank implements FD-RANK (Figure 11 of the paper): ranking a
+// set of functional dependencies by the redundancy their use in a
+// decomposition would remove, using the attribute-grouping merge
+// sequence Q.
+//
+// Each FD starts at rank max(Q); if the merge at which all of S = X∪A
+// first share a cluster has loss at most ψ·max(Q), the rank becomes that
+// loss. FDs with equal antecedent and equal rank collapse into one FD
+// with a combined right-hand side (Step 2), and the result is ordered by
+// ascending rank — lower rank means higher redundancy and a more
+// interesting decomposition — with ties broken in favor of FDs covering
+// more attributes.
+package fdrank
+
+import (
+	"sort"
+
+	"structmine/internal/attrs"
+	"structmine/internal/fd"
+)
+
+// Ranked is one output row of FD-RANK.
+type Ranked struct {
+	FD fd.FD
+	// Rank is the information loss assigned by the algorithm (ascending
+	// order = most redundancy-removing first).
+	Rank float64
+	// Updated reports whether Step 1.c replaced the max(Q) initial rank,
+	// i.e. whether the FD's attributes merge cheaply in the dendrogram.
+	Updated bool
+}
+
+// Rank runs FD-RANK over the dependency set with threshold ψ ∈ [0, 1].
+func Rank(fds []fd.FD, g *attrs.Grouping, psi float64) []Ranked {
+	maxQ := g.MaxLoss()
+	cut := psi * maxQ
+
+	ranked := make([]Ranked, 0, len(fds))
+	for _, f := range fds {
+		r := Ranked{FD: f, Rank: maxQ}
+		if loss, ok := g.MergeLossOf(f.Attrs().Attrs()); ok && loss <= cut {
+			r.Rank = loss
+			r.Updated = true
+		}
+		ranked = append(ranked, r)
+	}
+
+	ranked = collapse(ranked)
+
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Rank != ranked[j].Rank {
+			return ranked[i].Rank < ranked[j].Rank
+		}
+		// Tie-break: more participating attributes ranks higher.
+		ci := ranked[i].FD.Attrs().Count()
+		cj := ranked[j].FD.Attrs().Count()
+		if ci != cj {
+			return ci > cj
+		}
+		if ranked[i].FD.LHS != ranked[j].FD.LHS {
+			return ranked[i].FD.LHS < ranked[j].FD.LHS
+		}
+		return ranked[i].FD.RHS < ranked[j].FD.RHS
+	})
+	return ranked
+}
+
+// collapse implements Step 2: FDs with the same antecedent and the same
+// rank merge into a single FD with the union of their right-hand sides.
+func collapse(in []Ranked) []Ranked {
+	type key struct {
+		lhs  fd.AttrSet
+		rank float64
+	}
+	order := make([]key, 0, len(in))
+	byKey := map[key]*Ranked{}
+	for _, r := range in {
+		k := key{r.FD.LHS, r.Rank}
+		if prev, ok := byKey[k]; ok {
+			prev.FD.RHS = prev.FD.RHS.Union(r.FD.RHS)
+			prev.Updated = prev.Updated || r.Updated
+			continue
+		}
+		cp := r
+		byKey[k] = &cp
+		order = append(order, k)
+	}
+	out := make([]Ranked, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	return out
+}

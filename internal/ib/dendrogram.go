@@ -1,0 +1,167 @@
+package ib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dendrogram is a printable view of a full agglomerative merge sequence,
+// mirroring the figures of the paper (leaves on the left, merges placed
+// at their information-loss coordinate).
+type Dendrogram struct {
+	res *Result
+}
+
+// Dendrogram wraps the result for rendering. The result should be a full
+// clustering (down to one cluster) for a connected picture, but partial
+// sequences render too (as a forest).
+func (r *Result) Dendrogram() *Dendrogram { return &Dendrogram{res: r} }
+
+// LeafOrder returns input-object indices in dendrogram display order:
+// children of early (low-loss) merges appear adjacently.
+func (d *Dendrogram) LeafOrder() []int {
+	q := len(d.res.Objects)
+	if q == 0 {
+		return nil
+	}
+	// Roots: nodes with no parent.
+	var roots []int
+	for node, p := range d.res.parent {
+		if p == -1 {
+			roots = append(roots, node)
+		}
+	}
+	sort.Ints(roots)
+	var order []int
+	var walk func(node int)
+	walk = func(node int) {
+		if node < q {
+			order = append(order, node)
+			return
+		}
+		m := d.res.Merges[node-q]
+		walk(m.Left)
+		walk(m.Right)
+	}
+	for _, root := range roots {
+		walk(root)
+	}
+	return order
+}
+
+// MergeTable renders the merge sequence as text rows:
+//
+//	k=3  loss=0.1577  {B} + {C}
+//
+// in merge order. Useful both for logs and for EXPERIMENTS.md.
+func (d *Dendrogram) MergeTable() string {
+	var b strings.Builder
+	for _, m := range d.res.Merges {
+		fmt.Fprintf(&b, "k=%-3d loss=%.4f  %s + %s\n",
+			m.K, m.Loss, d.groupLabel(m.Left), d.groupLabel(m.Right))
+	}
+	return b.String()
+}
+
+func (d *Dendrogram) groupLabel(node int) string {
+	members := d.res.Members(node)
+	names := make([]string, len(members))
+	for i, m := range members {
+		names[i] = d.res.Objects[m].Label
+	}
+	return "{" + strings.Join(names, ",") + "}"
+}
+
+// ASCII renders a left-to-right text dendrogram of the given width in
+// characters. The horizontal axis is the per-merge information loss
+// scaled to the maximum loss, matching the axes of Figures 10 and 14-18.
+func (d *Dendrogram) ASCII(width int) string {
+	q := len(d.res.Objects)
+	if q == 0 {
+		return "(empty)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	order := d.LeafOrder()
+	rowOf := make(map[int]int, q) // object index -> display row
+	labelW := 0
+	for row, obj := range order {
+		rowOf[obj] = row
+		if l := len(d.res.Objects[obj].Label); l > labelW {
+			labelW = l
+		}
+	}
+	maxLoss := d.res.MaxLoss()
+	if maxLoss <= 0 {
+		maxLoss = 1
+	}
+	cols := width - labelW - 2
+	if cols < 10 {
+		cols = 10
+	}
+	col := func(loss float64) int {
+		c := int(loss / maxLoss * float64(cols-1))
+		if c < 1 {
+			c = 1 // leave column 0 for the leaf stem
+		}
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+
+	grid := make([][]byte, q)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+
+	// nodeRow / nodeCol track where each dendrogram node currently "ends".
+	nodeRow := make(map[int]int, 2*q)
+	nodeCol := make(map[int]int, 2*q)
+	for _, obj := range order {
+		nodeRow[obj] = rowOf[obj]
+		nodeCol[obj] = 0
+	}
+	hline := func(row, from, to int) {
+		for c := from; c <= to; c++ {
+			if grid[row][c] == ' ' {
+				grid[row][c] = '-'
+			}
+		}
+	}
+	for _, m := range d.res.Merges {
+		c := col(m.Loss)
+		r1, c1 := nodeRow[m.Left], nodeCol[m.Left]
+		r2, c2 := nodeRow[m.Right], nodeCol[m.Right]
+		if r1 > r2 {
+			r1, r2 = r2, r1
+			c1, c2 = c2, c1
+		}
+		hline(r1, c1, c)
+		hline(r2, c2, c)
+		for r := r1; r <= r2; r++ {
+			grid[r][c] = '|'
+		}
+		grid[r1][c] = '+'
+		grid[r2][c] = '+'
+		mid := (r1 + r2) / 2
+		nodeRow[m.Node] = mid
+		nodeCol[m.Node] = c
+	}
+
+	var b strings.Builder
+	for row, obj := range order {
+		fmt.Fprintf(&b, "%-*s %s\n", labelW, d.res.Objects[obj].Label, string(grid[row]))
+	}
+	fmt.Fprintf(&b, "%-*s 0%s%.3f (info loss)\n", labelW, "", strings.Repeat(" ", maxInt(1, cols-8)), maxLoss)
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+package ib
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the merge tree in Graphviz format: leaves are labeled
+// boxes, internal nodes carry the information loss of their merge. Feed
+// to `dot -Tsvg` for publication-quality dendrograms.
+func (d *Dendrogram) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=RL;\n  node [fontsize=10];\n")
+	for i, o := range d.res.Objects {
+		fmt.Fprintf(&b, "  n%d [shape=box, label=%q];\n", i, o.Label)
+	}
+	for _, m := range d.res.Merges {
+		fmt.Fprintf(&b, "  n%d [shape=ellipse, label=\"%.4f\"];\n", m.Node, m.Loss)
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", m.Node, m.Left)
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", m.Node, m.Right)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Newick renders the merge tree in Newick format with branch lengths
+// derived from merge losses (each child's branch is the difference
+// between its parent's and its own merge loss, floored at zero), so
+// standard phylogenetic viewers display the dendrogram. A partial
+// clustering renders as a forest of ;-terminated trees.
+func (d *Dendrogram) Newick() string {
+	q := len(d.res.Objects)
+	lossOf := func(node int) float64 {
+		if node < q {
+			return 0
+		}
+		return d.res.Merges[node-q].Loss
+	}
+	var render func(node int, parentLoss float64) string
+	render = func(node int, parentLoss float64) string {
+		length := parentLoss - lossOf(node)
+		if length < 0 {
+			length = 0
+		}
+		if node < q {
+			return fmt.Sprintf("%s:%.6f", newickEscape(d.res.Objects[node].Label), length)
+		}
+		m := d.res.Merges[node-q]
+		return fmt.Sprintf("(%s,%s):%.6f",
+			render(m.Left, m.Loss), render(m.Right, m.Loss), length)
+	}
+	var roots []int
+	for node, p := range d.res.parent {
+		if p == -1 {
+			roots = append(roots, node)
+		}
+	}
+	var b strings.Builder
+	for _, root := range roots {
+		b.WriteString(render(root, lossOf(root)))
+		b.WriteString(";\n")
+	}
+	return b.String()
+}
+
+// newickEscape quotes labels containing Newick metacharacters.
+func newickEscape(s string) string {
+	if strings.ContainsAny(s, "();,: \t'") {
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	}
+	if s == "" {
+		return "'_'"
+	}
+	return s
+}

@@ -1,0 +1,234 @@
+package it
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntropyUniform(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 100} {
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		h := Entropy(Uniform(idx))
+		want := math.Log2(float64(n))
+		if !almostEqual(h, want, 1e-9) {
+			t.Errorf("H(uniform %d) = %v, want %v", n, h, want)
+		}
+	}
+}
+
+func TestEntropyPointMass(t *testing.T) {
+	if h := Entropy(NewVec([]Entry{{42, 1}})); !almostEqual(h, 0, 1e-12) {
+		t.Fatalf("point mass entropy = %v", h)
+	}
+}
+
+func TestEntropyDense(t *testing.T) {
+	if h := EntropyDense([]float64{0.5, 0.5}); !almostEqual(h, 1, 1e-12) {
+		t.Fatalf("H(1/2,1/2) = %v", h)
+	}
+	if h := EntropyDense([]float64{1, 0, 0}); !almostEqual(h, 0, 1e-12) {
+		t.Fatalf("H(1,0,0) = %v", h)
+	}
+}
+
+func TestEntropyCounts(t *testing.T) {
+	if h := EntropyCounts([]int{1, 1, 1, 1}); !almostEqual(h, 2, 1e-12) {
+		t.Fatalf("H(counts uniform 4) = %v", h)
+	}
+	if h := EntropyCounts([]int{5}); !almostEqual(h, 0, 1e-12) {
+		t.Fatalf("H(single) = %v", h)
+	}
+	if h := EntropyCounts(nil); h != 0 {
+		t.Fatalf("H(empty) = %v", h)
+	}
+	// Skewed: H(3/4,1/4) = 0.811278...
+	if h := EntropyCounts([]int{3, 1}); !almostEqual(h, 0.8112781244591328, 1e-12) {
+		t.Fatalf("H(3,1) = %v", h)
+	}
+}
+
+func TestKL(t *testing.T) {
+	p := NewVec([]Entry{{0, 0.5}, {1, 0.5}})
+	q := NewVec([]Entry{{0, 0.25}, {1, 0.75}})
+	// 0.5*log2(2) + 0.5*log2(2/3) = 0.5 - 0.2925 = 0.2075
+	want := 0.5 + 0.5*math.Log2(0.5/0.75)
+	if d := KL(p, q); !almostEqual(d, want, 1e-12) {
+		t.Fatalf("KL = %v, want %v", d, want)
+	}
+	if d := KL(p, p); !almostEqual(d, 0, 1e-12) {
+		t.Fatalf("KL(p,p) = %v", d)
+	}
+}
+
+func TestKLInfiniteOnSupportMismatch(t *testing.T) {
+	p := Uniform([]int32{0, 1})
+	q := Uniform([]int32{0})
+	if d := KL(p, q); !math.IsInf(d, 1) {
+		t.Fatalf("KL with missing support = %v, want +Inf", d)
+	}
+}
+
+func TestJSIdentical(t *testing.T) {
+	p := NewVec([]Entry{{0, 0.3}, {5, 0.7}})
+	if d := JS(0.4, p, 0.6, p); !almostEqual(d, 0, 1e-12) {
+		t.Fatalf("JS(p,p) = %v", d)
+	}
+}
+
+func TestJSDisjointIsEntropyOfWeights(t *testing.T) {
+	// For disjoint supports, JS^{w,1-w} = H(w, 1-w); with w=1/2 this is 1.
+	p := Uniform([]int32{0})
+	q := Uniform([]int32{1})
+	if d := JS(0.5, p, 0.5, q); !almostEqual(d, 1, 1e-12) {
+		t.Fatalf("JS disjoint = %v, want 1", d)
+	}
+	w := 0.25
+	want := EntropyDense([]float64{w, 1 - w})
+	if d := JS(w, p, 1-w, q); !almostEqual(d, want, 1e-12) {
+		t.Fatalf("JS disjoint weighted = %v, want %v", d, want)
+	}
+}
+
+func TestJSSymmetryUnderSwappedWeights(t *testing.T) {
+	p := NewVec([]Entry{{0, 0.9}, {1, 0.1}})
+	q := NewVec([]Entry{{0, 0.2}, {2, 0.8}})
+	if a, b := JS(0.3, p, 0.7, q), JS(0.7, q, 0.3, p); !almostEqual(a, b, 1e-12) {
+		t.Fatalf("JS not symmetric: %v vs %v", a, b)
+	}
+}
+
+// TestDeltaIPaperWorkedExample reproduces the attribute-clustering numbers
+// of Section 7 (Figures 9-10): attributes A, B, C expressed over the two
+// duplicate value groups {a,1} and {2,x} with matrix F rows
+// A=(2,0), B=(2,3), C=(0,4), each attribute having prior 1/3.
+func TestDeltaIPaperWorkedExample(t *testing.T) {
+	pA := NewVec([]Entry{{0, 1}})
+	pB := NewVec([]Entry{{0, 0.4}, {1, 0.6}})
+	pC := NewVec([]Entry{{1, 1}})
+	w := 1.0 / 3
+
+	dBC := DeltaI(w, pB, w, pC)
+	dAB := DeltaI(w, pA, w, pB)
+	dAC := DeltaI(w, pA, w, pC)
+	if !(dBC < dAB && dAB < dAC) {
+		t.Fatalf("merge order wrong: dBC=%v dAB=%v dAC=%v", dBC, dAB, dAC)
+	}
+	if !almostEqual(dBC, 0.15768, 1e-4) {
+		t.Errorf("δI(B,C) = %v, want ≈0.1577", dBC)
+	}
+
+	// Merge B and C, then merge A with the result; the paper reports the
+	// final loss as approximately 0.52.
+	pBC := Mix(0.5, pB, 0.5, pC)
+	dFinal := DeltaI(w, pA, 2*w, pBC)
+	if !almostEqual(dFinal, 0.5155, 2e-3) {
+		t.Errorf("final merge loss = %v, want ≈0.5155 (paper: ~0.52)", dFinal)
+	}
+}
+
+func TestJointDistMutualInfo(t *testing.T) {
+	// Perfectly informative: each x maps to its own t. I = H(T) = log2(3).
+	j := &JointDist{
+		PX:    []float64{1.0 / 3, 1.0 / 3, 1.0 / 3},
+		CondT: []Vec{Uniform([]int32{0}), Uniform([]int32{1}), Uniform([]int32{2})},
+	}
+	if mi := j.MutualInfo(); !almostEqual(mi, math.Log2(3), 1e-12) {
+		t.Fatalf("MI = %v, want log2 3", mi)
+	}
+	// Independent: every x has the same conditional. I = 0.
+	c := Uniform([]int32{0, 1})
+	j2 := &JointDist{PX: []float64{0.5, 0.5}, CondT: []Vec{c, c}}
+	if mi := j2.MutualInfo(); !almostEqual(mi, 0, 1e-12) {
+		t.Fatalf("MI independent = %v, want 0", mi)
+	}
+}
+
+func TestJointDistEntropyX(t *testing.T) {
+	j := &JointDist{PX: []float64{0.5, 0.25, 0.25}}
+	if h := j.EntropyX(); !almostEqual(h, 1.5, 1e-12) {
+		t.Fatalf("H(X) = %v", h)
+	}
+}
+
+// --- property-based tests ---
+
+func TestPropEntropyBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomDist(r, 128, 20)
+		h := Entropy(v)
+		return h >= -1e-12 && h <= math.Log2(float64(len(v)))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropJSBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomDist(r, 64, 12)
+		q := randomDist(r, 64, 12)
+		w := r.Float64()
+		d := JS(w, p, 1-w, q)
+		return d >= 0 && d <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDeltaINonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomDist(r, 64, 12)
+		q := randomDist(r, 64, 12)
+		m1, m2 := r.Float64()+1e-6, r.Float64()+1e-6
+		return DeltaI(m1, p, m2, q) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// δI equals the drop in I(C;T): I before merge minus I after merge, when
+// the two clusters form the whole space (plus an untouched remainder).
+func TestPropDeltaIEqualsMutualInfoDrop(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomDist(r, 32, 8)
+		q := randomDist(r, 32, 8)
+		o := randomDist(r, 32, 8) // untouched third cluster
+		w1, w2, w3 := 0.3, 0.5, 0.2
+		before := &JointDist{PX: []float64{w1, w2, w3}, CondT: []Vec{p, q, o}}
+		merged := Mix(w1/(w1+w2), p, w2/(w1+w2), q)
+		after := &JointDist{PX: []float64{w1 + w2, w3}, CondT: []Vec{merged, o}}
+		drop := before.MutualInfo() - after.MutualInfo()
+		return almostEqual(drop, DeltaI(w1, p, w2, q), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropKLNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Same support so KL is finite: build q on p's support.
+		p := randomDist(r, 64, 12)
+		es := make([]Entry, len(p))
+		for i, e := range p {
+			es[i] = Entry{e.Idx, r.Float64() + 1e-3}
+		}
+		q := NewVec(es).Normalize()
+		return KL(p, q) >= -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

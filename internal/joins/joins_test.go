@@ -1,0 +1,177 @@
+package joins
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"structmine/internal/datagen"
+	"structmine/internal/relation"
+)
+
+func TestSignaturesBasics(t *testing.T) {
+	b := relation.NewBuilder("r", []string{"A", "B"})
+	b.MustAdd("x", "1")
+	b.MustAdd("y", "")
+	b.MustAdd("x", "2")
+	r := b.Relation()
+	sigs := Signatures(r)
+	if len(sigs) != 2 {
+		t.Fatalf("signatures %d", len(sigs))
+	}
+	if sigs[0].Distinct != 2 {
+		t.Fatalf("A distinct %d, want 2", sigs[0].Distinct)
+	}
+	// NULL excluded: B has values {1, 2}.
+	if sigs[1].Distinct != 2 {
+		t.Fatalf("B distinct %d, want 2 (NULL excluded)", sigs[1].Distinct)
+	}
+}
+
+func TestResemblanceExact(t *testing.T) {
+	mk := func(vals ...string) Signature {
+		b := relation.NewBuilder("t", []string{"A"})
+		for _, v := range vals {
+			b.MustAdd(v)
+		}
+		return Signatures(b.Relation())[0]
+	}
+	a := mk("1", "2", "3", "4")
+	b := mk("3", "4", "5", "6")
+	if j := Resemblance(a, b); math.Abs(j-2.0/6) > 1e-12 {
+		t.Fatalf("Jaccard %v, want 1/3", j)
+	}
+	if j := Resemblance(a, a); j != 1 {
+		t.Fatalf("self Jaccard %v", j)
+	}
+	if c := Containment(a, b); math.Abs(c-0.5) > 1e-12 {
+		t.Fatalf("containment %v, want 0.5", c)
+	}
+	empty := mk()
+	if Resemblance(a, empty) != 0 || Containment(empty, a) != 0 {
+		t.Fatal("empty signature should resemble nothing")
+	}
+}
+
+func TestFindJoinableOnDB2Tables(t *testing.T) {
+	db, err := datagen.NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := FindJoinable([]*relation.Relation{db.Employee, db.Department, db.Project}, 0.95, 3)
+
+	find := func(fr, fa, tr, ta string) *Candidate {
+		for i := range cands {
+			c := cands[i]
+			if c.FromRelation == fr && c.FromAttr == fa && c.ToRelation == tr && c.ToAttr == ta {
+				return &cands[i]
+			}
+		}
+		return nil
+	}
+	// The two join paths of the paper's construction must surface.
+	if c := find("EMPLOYEE", "WorkDepNo", "DEPARTMENT", "DepNo"); c == nil || c.Containment < 0.99 {
+		t.Errorf("WorkDepNo ⊆ DepNo not found: %+v", c)
+	}
+	if c := find("PROJECT", "DeptNo", "DEPARTMENT", "DepNo"); c == nil || c.Containment < 0.99 {
+		t.Errorf("Project.DeptNo ⊆ DepNo not found: %+v", c)
+	}
+	// The project's responsible employee points into EMPLOYEE.EmpNo.
+	if c := find("PROJECT", "RespEmpNo", "EMPLOYEE", "EmpNo"); c == nil {
+		t.Errorf("RespEmpNo ⊆ EmpNo not found")
+	}
+	// Sanity: no candidate relates FirstName to DepNo.
+	if c := find("EMPLOYEE", "FirstName", "DEPARTMENT", "DepNo"); c != nil {
+		t.Errorf("spurious candidate: %+v", c)
+	}
+}
+
+func TestFindJoinableOrdering(t *testing.T) {
+	db, err := datagen.NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := FindJoinable([]*relation.Relation{db.Employee, db.Department}, 0.5, 2)
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Containment > cands[i-1].Containment+1e-12 {
+			t.Fatal("candidates not sorted by containment")
+		}
+	}
+}
+
+// Sketch estimates must track exact Jaccard within tolerance on large
+// random sets.
+func TestPropSketchAccuracy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 600 + rng.Intn(1000)
+		overlap := rng.Intn(n)
+		b1 := relation.NewBuilder("a", []string{"V"})
+		b2 := relation.NewBuilder("b", []string{"V"})
+		for i := 0; i < n; i++ {
+			b1.MustAdd(fmt.Sprintf("v%d", i))
+			if i < overlap {
+				b2.MustAdd(fmt.Sprintf("v%d", i))
+			} else {
+				b2.MustAdd(fmt.Sprintf("w%d", i))
+			}
+		}
+		s1 := Signatures(b1.Relation())[0]
+		s2 := Signatures(b2.Relation())[0]
+		exact := float64(overlap) / float64(2*n-overlap)
+		est := Resemblance(s1, s2)
+		return math.Abs(est-exact) < 0.12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeBottomK(t *testing.T) {
+	a := []uint64{1, 3, 5}
+	b := []uint64{2, 3, 6}
+	got := mergeBottomK(a, b, 4)
+	want := []uint64{1, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("merge %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge %v, want %v", got, want)
+		}
+	}
+}
+
+func TestContainsSorted(t *testing.T) {
+	a := []uint64{2, 4, 6}
+	if !containsSorted(a, 4) || containsSorted(a, 5) || containsSorted(a, 1) || containsSorted(a, 7) {
+		t.Fatal("binary search wrong")
+	}
+	if containsSorted(nil, 1) {
+		t.Fatal("empty contains")
+	}
+}
+
+// Containment on sketched (non-exact) signatures: a strict subset of a
+// large set must report containment near 1.
+func TestContainmentSketched(t *testing.T) {
+	b1 := relation.NewBuilder("small", []string{"V"})
+	b2 := relation.NewBuilder("big", []string{"V"})
+	for i := 0; i < 2000; i++ {
+		b2.MustAdd(fmt.Sprintf("v%d", i))
+		if i%3 == 0 {
+			b1.MustAdd(fmt.Sprintf("v%d", i))
+		}
+	}
+	s1 := Signatures(b1.Relation())[0]
+	s2 := Signatures(b2.Relation())[0]
+	if c := Containment(s1, s2); c < 0.85 {
+		t.Fatalf("subset containment %v, want ≈1", c)
+	}
+	// Reverse direction is ≈ 1/3.
+	if c := Containment(s2, s1); math.Abs(c-1.0/3) > 0.12 {
+		t.Fatalf("reverse containment %v, want ≈0.33", c)
+	}
+}

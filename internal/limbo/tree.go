@@ -1,0 +1,286 @@
+package limbo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config controls Phase 1 tree construction.
+type Config struct {
+	// B is the branching factor (maximum entries per node). The paper
+	// uses B = 4 throughout.
+	B int
+	// Threshold is τ, the maximum information loss a leaf entry may
+	// absorb; the paper sets τ = φ·I(V;T)/|V|. Zero merges only objects
+	// with identical conditionals (LIMBO degenerates to AIB).
+	Threshold float64
+	// MaxLeafEntries, when positive, bounds the number of leaf entries:
+	// if an insertion would exceed it, the threshold is increased and the
+	// tree rebuilt from its own summaries (the "pick a number of leaves
+	// that is sufficiently large" mode of Section 6.1.2).
+	MaxLeafEntries int
+	// NumAttrs enables ADCFs carrying per-attribute counts when > 0.
+	NumAttrs int
+}
+
+const thresholdEps = 1e-12
+
+// Tree is the DCF-tree of Phase 1.
+type Tree struct {
+	cfg         Config
+	root        *node
+	leafEntries int
+	inserted    int
+	rebuilds    int
+}
+
+type node struct {
+	leaf    bool
+	entries []*entry
+}
+
+type entry struct {
+	dcf   *DCF
+	child *node // nil iff owning node is a leaf
+}
+
+// NewTree creates an empty DCF-tree. B defaults to 4 when non-positive.
+func NewTree(cfg Config) *Tree {
+	if cfg.B <= 1 {
+		cfg.B = 4
+	}
+	return &Tree{cfg: cfg, root: &node{leaf: true}}
+}
+
+// Threshold returns the current merge threshold (it may have grown in
+// MaxLeafEntries mode).
+func (t *Tree) Threshold() float64 { return t.cfg.Threshold }
+
+// LeafCount returns the number of leaf entries (cluster summaries).
+func (t *Tree) LeafCount() int { return t.leafEntries }
+
+// Inserted returns how many objects have been inserted.
+func (t *Tree) Inserted() int { return t.inserted }
+
+// Rebuilds returns how many adaptive-threshold rebuilds occurred.
+func (t *Tree) Rebuilds() int { return t.rebuilds }
+
+// Insert streams one object into the tree (Phase 1). It returns the leaf
+// DCF the object was absorbed into (or became); the pointer remains
+// valid for the tree's lifetime unless an adaptive rebuild occurs (only
+// possible in MaxLeafEntries mode).
+func (t *Tree) Insert(o Obj) *DCF {
+	t.inserted++
+	leaf := t.insertDCF(NewDCF(o))
+	if t.cfg.MaxLeafEntries > 0 {
+		for t.leafEntries > t.cfg.MaxLeafEntries {
+			t.rebuild()
+		}
+	}
+	return leaf
+}
+
+func (t *Tree) insertDCF(d *DCF) *DCF {
+	split, e1, e2, leaf := t.insertInto(t.root, d)
+	if split {
+		t.root = &node{leaf: false, entries: []*entry{e1, e2}}
+	}
+	return leaf
+}
+
+// insertInto descends to the closest leaf entry. It returns split=true
+// with the two replacement entries when the node overflowed, plus the
+// leaf DCF that received the object.
+func (t *Tree) insertInto(n *node, d *DCF) (split bool, e1, e2 *entry, leaf *DCF) {
+	if n.leaf {
+		best, bestDist := -1, math.Inf(1)
+		for i, e := range n.entries {
+			if dist := DeltaIDCF(e.dcf, d); dist < bestDist {
+				best, bestDist = i, dist
+			}
+		}
+		if best >= 0 && bestDist <= t.cfg.Threshold+thresholdEps {
+			n.entries[best].dcf.AbsorbDCF(d)
+			return false, nil, nil, n.entries[best].dcf
+		}
+		n.entries = append(n.entries, &entry{dcf: d})
+		t.leafEntries++
+		if len(n.entries) > t.cfg.B {
+			s1, s2 := t.splitNode(n)
+			return true, s1, s2, d
+		}
+		return false, nil, nil, d
+	}
+
+	best, bestDist := 0, math.Inf(1)
+	for i, e := range n.entries {
+		if dist := DeltaIDCF(e.dcf, d); dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	childSplit, c1, c2, leaf := t.insertInto(n.entries[best].child, d)
+	if !childSplit {
+		n.entries[best].dcf.AbsorbDCF(d)
+		return false, nil, nil, leaf
+	}
+	// Replace the split child with its two halves.
+	n.entries[best] = c1
+	n.entries = append(n.entries, c2)
+	if len(n.entries) > t.cfg.B {
+		s1, s2 := t.splitNode(n)
+		return true, s1, s2, leaf
+	}
+	return false, nil, nil, leaf
+}
+
+// splitNode divides an overflowing node into two, seeding with the pair
+// of entries at maximum δI and assigning the rest to the nearer seed
+// (the BIRCH splitting policy adapted to information loss).
+func (t *Tree) splitNode(n *node) (*entry, *entry) {
+	s1, s2 := 0, 1
+	maxDist := math.Inf(-1)
+	for i := 0; i < len(n.entries); i++ {
+		for j := i + 1; j < len(n.entries); j++ {
+			if d := DeltaIDCF(n.entries[i].dcf, n.entries[j].dcf); d > maxDist {
+				maxDist, s1, s2 = d, i, j
+			}
+		}
+	}
+	left := &node{leaf: n.leaf, entries: []*entry{n.entries[s1]}}
+	right := &node{leaf: n.leaf, entries: []*entry{n.entries[s2]}}
+	for i, e := range n.entries {
+		if i == s1 || i == s2 {
+			continue
+		}
+		if DeltaIDCF(e.dcf, n.entries[s1].dcf) <= DeltaIDCF(e.dcf, n.entries[s2].dcf) {
+			left.entries = append(left.entries, e)
+		} else {
+			right.entries = append(right.entries, e)
+		}
+	}
+	return wrap(left), wrap(right)
+}
+
+func wrap(n *node) *entry {
+	var d *DCF
+	for _, e := range n.entries {
+		if d == nil {
+			d = e.dcf.Clone()
+		} else {
+			d.AbsorbDCF(e.dcf)
+		}
+	}
+	return &entry{dcf: d, child: n}
+}
+
+// rebuild raises the threshold (or seeds it from the smallest observed
+// inter-leaf distance when still zero) and reinserts the current leaf
+// summaries into a fresh tree. Growth is gentle (×1.3, BIRCH uses ×2):
+// a coarse jump can leap over the τ band separating within-group from
+// between-group distances and fold small natural clusters into large
+// ones before they ever get their own leaf.
+func (t *Tree) rebuild() {
+	leaves := t.Leaves()
+	if t.cfg.Threshold <= 0 {
+		minDist := math.Inf(1)
+		for i := 0; i < len(leaves); i++ {
+			for j := i + 1; j < len(leaves); j++ {
+				if d := DeltaIDCF(leaves[i], leaves[j]); d < minDist {
+					minDist = d
+				}
+			}
+		}
+		if math.IsInf(minDist, 1) || minDist <= 0 {
+			minDist = 1e-9
+		}
+		t.cfg.Threshold = minDist
+	} else {
+		t.cfg.Threshold *= 1.3
+	}
+	t.root = &node{leaf: true}
+	t.leafEntries = 0
+	t.rebuilds++
+	for _, d := range leaves {
+		t.insertDCF(d)
+	}
+}
+
+// Leaves returns the leaf-level DCFs left to right — the Phase 1
+// summaries handed to Phase 2.
+func (t *Tree) Leaves() []*DCF {
+	var out []*DCF
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			for _, e := range n.entries {
+				out = append(out, e.dcf)
+			}
+			return
+		}
+		for _, e := range n.entries {
+			walk(e.child)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Validate checks structural invariants (for tests): fanout bounds,
+// leaf-entry count, and that every internal entry's DCF mass equals the
+// sum of its subtree's leaf masses.
+func (t *Tree) Validate() error {
+	count := 0
+	var walk func(n *node, depth int) (float64, int, error)
+	walk = func(n *node, depth int) (float64, int, error) {
+		if len(n.entries) == 0 && depth > 0 {
+			return 0, 0, fmt.Errorf("limbo: empty non-root node at depth %d", depth)
+		}
+		if len(n.entries) > t.cfg.B {
+			return 0, 0, fmt.Errorf("limbo: node with %d entries exceeds B=%d", len(n.entries), t.cfg.B)
+		}
+		if n.leaf {
+			w := 0.0
+			nObjs := 0
+			for _, e := range n.entries {
+				if e.child != nil {
+					return 0, 0, fmt.Errorf("limbo: leaf entry with child")
+				}
+				w += e.dcf.W
+				nObjs += e.dcf.N
+				count++
+			}
+			return w, nObjs, nil
+		}
+		w := 0.0
+		nObjs := 0
+		for _, e := range n.entries {
+			if e.child == nil {
+				return 0, 0, fmt.Errorf("limbo: internal entry without child")
+			}
+			cw, cn, err := walk(e.child, depth+1)
+			if err != nil {
+				return 0, 0, err
+			}
+			if math.Abs(cw-e.dcf.W) > 1e-9 {
+				return 0, 0, fmt.Errorf("limbo: entry mass %v != subtree mass %v", e.dcf.W, cw)
+			}
+			if cn != e.dcf.N {
+				return 0, 0, fmt.Errorf("limbo: entry N %d != subtree N %d", e.dcf.N, cn)
+			}
+			w += cw
+			nObjs += cn
+		}
+		return w, nObjs, nil
+	}
+	_, nObjs, err := walk(t.root, 0)
+	if err != nil {
+		return err
+	}
+	if count != t.leafEntries {
+		return fmt.Errorf("limbo: leafEntries=%d but counted %d", t.leafEntries, count)
+	}
+	if nObjs != t.inserted {
+		return fmt.Errorf("limbo: inserted=%d but leaves summarize %d", t.inserted, nObjs)
+	}
+	return nil
+}

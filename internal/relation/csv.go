@@ -1,0 +1,77 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV parses a header-first CSV stream into a Relation. Empty fields
+// become NULL.
+func ReadCSV(name string, r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	b := NewBuilder(name, header)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV: %w", err)
+		}
+		line++
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("relation: line %d has %d fields, header has %d", line, len(rec), len(header))
+		}
+		if err := b.Add(rec); err != nil {
+			return nil, err
+		}
+	}
+	return b.Relation(), nil
+}
+
+// ReadCSVFile opens and parses a CSV file.
+func ReadCSVFile(path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(path, f)
+}
+
+// WriteCSV serializes the relation with a header row. NULLs are written
+// as the literal token so a round-trip is lossless.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Attrs); err != nil {
+		return err
+	}
+	for t := 0; t < r.N(); t++ {
+		if err := cw.Write(r.TupleStrings(t)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the relation to a file path.
+func (r *Relation) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

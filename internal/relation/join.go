@@ -1,0 +1,54 @@
+package relation
+
+import "fmt"
+
+// EquiJoin computes R ⋈_{R.left = S.right} S: for every pair of tuples
+// agreeing on the join columns (compared as strings), it emits the
+// concatenation of R's attributes with S's attributes minus S's join
+// column (the paper's DB2 construction R = (E ⋈ D) ⋈ P keeps a single
+// copy of each join attribute, yielding 19 of the 21 raw attributes).
+func EquiJoin(r *Relation, left string, s *Relation, right string) (*Relation, error) {
+	li := r.AttrIndex(left)
+	if li < 0 {
+		return nil, fmt.Errorf("join: %q has no attribute %q", r.Name, left)
+	}
+	ri := s.AttrIndex(right)
+	if ri < 0 {
+		return nil, fmt.Errorf("join: %q has no attribute %q", s.Name, right)
+	}
+
+	attrs := append([]string(nil), r.Attrs...)
+	sKeep := make([]int, 0, s.M()-1)
+	for a := range s.Attrs {
+		if a == ri {
+			continue
+		}
+		attrs = append(attrs, s.Attrs[a])
+		sKeep = append(sKeep, a)
+	}
+
+	// Hash S on the join column.
+	index := map[string][]int{}
+	for t := 0; t < s.N(); t++ {
+		k := s.valueStr[s.rows[t][ri]]
+		index[k] = append(index[k], t)
+	}
+
+	b := NewBuilder(r.Name+"_join_"+s.Name, attrs)
+	vals := make([]string, len(attrs))
+	for t := 0; t < r.N(); t++ {
+		k := r.valueStr[r.rows[t][li]]
+		for _, st := range index[k] {
+			for a := 0; a < r.M(); a++ {
+				vals[a] = r.valueStr[r.rows[t][a]]
+			}
+			for i, a := range sKeep {
+				vals[r.M()+i] = s.valueStr[s.rows[st][a]]
+			}
+			if err := b.Add(vals); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Relation(), nil
+}

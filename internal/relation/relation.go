@@ -1,0 +1,293 @@
+// Package relation implements the categorical relational model the paper
+// operates on: a set T of n tuples over m attributes A1..Am, where the
+// domain of each attribute is a finite set of uninterpreted values.
+//
+// Values are attribute-qualified: the string "Boston" under attribute City
+// and the string "Boston" under attribute DepName are distinct values.
+// Each distinct (attribute, string) pair receives a dense global value id
+// in [0, d), matching the paper's set V = V1 ∪ ... ∪ Vm with |V| = d.
+//
+// NULL is modeled as an ordinary per-attribute value (see DESIGN.md): the
+// integration anomalies studied in the paper's DBLP experiments arise
+// precisely because co-occurring NULLs correlate attributes.
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Null is the canonical representation of a missing value.
+const Null = "NULL"
+
+// Relation is an immutable categorical relation instance.
+type Relation struct {
+	Name  string
+	Attrs []string // attribute names, len m
+
+	// rows[t][a] is the global value id of tuple t at attribute a.
+	rows [][]int32
+
+	// valueStr[id] is the string of value id; valueAttr[id] its attribute.
+	valueStr  []string
+	valueAttr []int
+
+	// dict[a][s] is the value id of string s under attribute a.
+	dict []map[string]int32
+}
+
+// Builder accumulates tuples for a Relation.
+type Builder struct {
+	r *Relation
+}
+
+// NewBuilder starts a relation with the given attribute names.
+func NewBuilder(name string, attrs []string) *Builder {
+	r := &Relation{
+		Name:  name,
+		Attrs: append([]string(nil), attrs...),
+		dict:  make([]map[string]int32, len(attrs)),
+	}
+	for i := range r.dict {
+		r.dict[i] = map[string]int32{}
+	}
+	return &Builder{r: r}
+}
+
+// Add appends one tuple given as strings, one per attribute. Empty strings
+// are stored as Null.
+func (b *Builder) Add(vals []string) error {
+	if len(vals) != len(b.r.Attrs) {
+		return fmt.Errorf("relation: tuple has %d values, schema has %d attributes", len(vals), len(b.r.Attrs))
+	}
+	row := make([]int32, len(vals))
+	for a, s := range vals {
+		if s == "" {
+			s = Null
+		}
+		row[a] = b.r.intern(a, s)
+	}
+	b.r.rows = append(b.r.rows, row)
+	return nil
+}
+
+// MustAdd is Add that panics on schema mismatch; for generators and tests.
+func (b *Builder) MustAdd(vals ...string) {
+	if err := b.Add(vals); err != nil {
+		panic(err)
+	}
+}
+
+// Relation finalizes and returns the built relation. The builder may keep
+// being used; later Adds extend the same relation.
+func (b *Builder) Relation() *Relation { return b.r }
+
+func (r *Relation) intern(attr int, s string) int32 {
+	if id, ok := r.dict[attr][s]; ok {
+		return id
+	}
+	id := int32(len(r.valueStr))
+	r.dict[attr][s] = id
+	r.valueStr = append(r.valueStr, s)
+	r.valueAttr = append(r.valueAttr, attr)
+	return id
+}
+
+// N returns the number of tuples n.
+func (r *Relation) N() int { return len(r.rows) }
+
+// M returns the number of attributes m.
+func (r *Relation) M() int { return len(r.Attrs) }
+
+// D returns the total number of distinct attribute-qualified values d.
+func (r *Relation) D() int { return len(r.valueStr) }
+
+// Value returns the value id of tuple t at attribute a.
+func (r *Relation) Value(t, a int) int32 { return r.rows[t][a] }
+
+// Row returns the value ids of tuple t. The returned slice is shared;
+// callers must not modify it.
+func (r *Relation) Row(t int) []int32 { return r.rows[t] }
+
+// ValueString returns the string of a value id.
+func (r *Relation) ValueString(id int32) string { return r.valueStr[id] }
+
+// ValueAttr returns the attribute index a value id belongs to.
+func (r *Relation) ValueAttr(id int32) int { return r.valueAttr[id] }
+
+// ValueLabel renders a value id as "Attr=string" for human consumption.
+func (r *Relation) ValueLabel(id int32) string {
+	return r.Attrs[r.valueAttr[id]] + "=" + r.valueStr[id]
+}
+
+// ValueID returns the id of string s under attribute a, if interned.
+func (r *Relation) ValueID(a int, s string) (int32, bool) {
+	id, ok := r.dict[a][s]
+	return id, ok
+}
+
+// AttrIndex returns the index of the named attribute, or -1.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AttrIndices resolves attribute names to indices; unknown names error.
+func (r *Relation) AttrIndices(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		ix := r.AttrIndex(n)
+		if ix < 0 {
+			return nil, fmt.Errorf("relation %q: unknown attribute %q", r.Name, n)
+		}
+		out[i] = ix
+	}
+	return out, nil
+}
+
+// DomainSize returns |Vi|, the number of distinct values of attribute a.
+func (r *Relation) DomainSize(a int) int { return len(r.dict[a]) }
+
+// ValueCount returns d_v: in how many tuples value id v appears.
+// Computed on demand; use Stats for bulk access.
+func (r *Relation) ValueCount(v int32) int {
+	a := r.valueAttr[v]
+	n := 0
+	for t := range r.rows {
+		if r.rows[t][a] == v {
+			n++
+		}
+	}
+	return n
+}
+
+// TupleStrings renders tuple t back to strings.
+func (r *Relation) TupleStrings(t int) []string {
+	out := make([]string, r.M())
+	for a, id := range r.rows[t] {
+		out[a] = r.valueStr[id]
+	}
+	return out
+}
+
+// IsNull reports whether tuple t's value at attribute a is the NULL token.
+func (r *Relation) IsNull(t, a int) bool {
+	return r.valueStr[r.rows[t][a]] == Null
+}
+
+// NullFraction returns the fraction of NULLs in attribute a.
+func (r *Relation) NullFraction(a int) float64 {
+	if r.N() == 0 {
+		return 0
+	}
+	id, ok := r.dict[a][Null]
+	if !ok {
+		return 0
+	}
+	c := 0
+	for t := range r.rows {
+		if r.rows[t][a] == id {
+			c++
+		}
+	}
+	return float64(c) / float64(r.N())
+}
+
+// Stats holds bulk per-value occurrence information.
+type Stats struct {
+	// Count[v] is d_v, the number of tuples containing value id v.
+	Count []int
+	// Tuples[v] lists the tuple indices containing value id v, ascending.
+	Tuples [][]int32
+}
+
+// Stats scans the relation once and returns per-value occurrence lists,
+// i.e. the (sparse) columns of matrix N before normalization.
+func (r *Relation) Stats() *Stats {
+	s := &Stats{
+		Count:  make([]int, r.D()),
+		Tuples: make([][]int32, r.D()),
+	}
+	for t, row := range r.rows {
+		for _, v := range row {
+			s.Count[v]++
+			s.Tuples[v] = append(s.Tuples[v], int32(t))
+		}
+	}
+	return s
+}
+
+// Project returns a new relation over the given attribute indices,
+// preserving every tuple (bag semantics). Value ids are re-interned.
+func (r *Relation) Project(attrs []int) *Relation {
+	names := make([]string, len(attrs))
+	for i, a := range attrs {
+		names[i] = r.Attrs[a]
+	}
+	b := NewBuilder(r.Name+"-proj", names)
+	vals := make([]string, len(attrs))
+	for t := range r.rows {
+		for i, a := range attrs {
+			vals[i] = r.valueStr[r.rows[t][a]]
+		}
+		if err := b.Add(vals); err != nil {
+			panic(err) // schema is constructed to match
+		}
+	}
+	return b.Relation()
+}
+
+// Select returns a new relation containing only the given tuple indices,
+// in the given order.
+func (r *Relation) Select(tuples []int) *Relation {
+	b := NewBuilder(r.Name+"-sel", r.Attrs)
+	for _, t := range tuples {
+		if err := b.Add(r.TupleStrings(t)); err != nil {
+			panic(err)
+		}
+	}
+	return b.Relation()
+}
+
+// DistinctRows returns the number of distinct rows when the relation is
+// projected on the given attributes (set semantics), i.e. n' in RTR.
+func (r *Relation) DistinctRows(attrs []int) int {
+	seen := map[string]struct{}{}
+	key := make([]byte, 0, 64)
+	for t := range r.rows {
+		key = key[:0]
+		for _, a := range attrs {
+			key = appendKey(key, r.rows[t][a])
+		}
+		seen[string(key)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ProjectionCounts returns the multiplicity of each distinct projected row
+// (bag semantics), used by the RAD measure.
+func (r *Relation) ProjectionCounts(attrs []int) []int {
+	counts := map[string]int{}
+	key := make([]byte, 0, 64)
+	for t := range r.rows {
+		key = key[:0]
+		for _, a := range attrs {
+			key = appendKey(key, r.rows[t][a])
+		}
+		counts[string(key)]++
+	}
+	out := make([]int, 0, len(counts))
+	for _, c := range counts {
+		out = append(out, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+func appendKey(b []byte, v int32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), 0xff)
+}

@@ -1,0 +1,232 @@
+// Package values implements attribute-value clustering (Section 6.2):
+// the value representation p(T|v), the ADCF extension carrying matrix O
+// (per-attribute support counts), detection of perfectly and almost
+// perfectly co-occurring value groups, and the split of the clustering
+// into duplicate (C_V^D) and non-duplicate (C_V^ND) groups that feeds
+// attribute grouping.
+package values
+
+import (
+	"sort"
+
+	"structmine/internal/it"
+	"structmine/internal/limbo"
+	"structmine/internal/relation"
+)
+
+// Objects converts each attribute value v into a clustering object with
+// p(v) = 1/d and p(T|v) uniform over the tuples containing v
+// (equations 6 and 7), carrying its O-matrix row as ADCF counts.
+func Objects(r *relation.Relation) []limbo.Obj {
+	st := r.Stats()
+	d := r.D()
+	m := r.M()
+	objs := make([]limbo.Obj, d)
+	for v := 0; v < d; v++ {
+		counts := make([]int64, m)
+		counts[r.ValueAttr(int32(v))] = int64(st.Count[v])
+		objs[v] = limbo.Obj{
+			ID:     int32(v),
+			W:      1.0 / float64(d),
+			Cond:   it.Uniform(st.Tuples[v]),
+			Counts: counts,
+		}
+	}
+	return objs
+}
+
+// ObjectsOverClusters expresses values over a compressed tuple axis
+// (double clustering): p(c_t|v) is the fraction of v's occurrences that
+// fall in tuple cluster c_t.
+func ObjectsOverClusters(r *relation.Relation, tupleCluster []int, k int) []limbo.Obj {
+	st := r.Stats()
+	d := r.D()
+	m := r.M()
+	objs := make([]limbo.Obj, d)
+	for v := 0; v < d; v++ {
+		counts := make([]int64, m)
+		counts[r.ValueAttr(int32(v))] = int64(st.Count[v])
+		mass := map[int32]float64{}
+		dv := float64(st.Count[v])
+		for _, t := range st.Tuples[v] {
+			c := tupleCluster[t]
+			if c >= 0 && c < k {
+				mass[int32(c)] += 1.0 / dv
+			}
+		}
+		es := make([]it.Entry, 0, len(mass))
+		for idx, p := range mass {
+			es = append(es, it.Entry{Idx: idx, P: p})
+		}
+		objs[v] = limbo.Obj{
+			ID:     int32(v),
+			W:      1.0 / float64(d),
+			Cond:   it.NewVec(es),
+			Counts: counts,
+		}
+	}
+	return objs
+}
+
+// Group is one cluster of attribute values with its ADCF summary.
+type Group struct {
+	DCF *limbo.DCF
+	// Values are the value ids associated with this summary by Phase 3.
+	Values []int32
+	// Duplicate marks membership in C_V^D: the group's values appear in
+	// at least two tuples (or tuple clusters) AND in at least two
+	// attributes.
+	Duplicate bool
+}
+
+// Clustering is the outcome of attribute-value clustering.
+type Clustering struct {
+	Groups []Group
+	// Assign[v] is the group index of value id v and the association loss.
+	Assign    []limbo.Assignment
+	LeafCount int
+	Threshold float64
+	// NumAttrs mirrors the relation arity (the width of matrix O rows).
+	NumAttrs int
+}
+
+// Cluster runs the Section 6.2 procedure on pre-built value objects:
+// Phase 1 at φV with ADCFs, then Phase 3 association of every value with
+// its closest summary. The duplicate flag is computed per summary from
+// the merged ADCF.
+func Cluster(objs []limbo.Obj, phiV float64, b, numAttrs int) *Clustering {
+	tree := limbo.BuildTree(objs, phiV, b)
+	leaves := tree.Leaves()
+	assign := limbo.Assign(leaves, objs)
+
+	c := &Clustering{
+		Groups:    make([]Group, len(leaves)),
+		Assign:    assign,
+		LeafCount: tree.LeafCount(),
+		Threshold: tree.Threshold(),
+		NumAttrs:  numAttrs,
+	}
+	for i, d := range leaves {
+		c.Groups[i] = Group{DCF: d, Duplicate: isDuplicate(d)}
+	}
+	for v, a := range assign {
+		if a.Cluster >= 0 {
+			g := &c.Groups[a.Cluster]
+			g.Values = append(g.Values, objs[v].ID)
+		}
+	}
+	return c
+}
+
+// ClusterRelation is the common case: plain (non-double) clustering of a
+// relation's values at φV.
+func ClusterRelation(r *relation.Relation, phiV float64, b int) *Clustering {
+	return Cluster(Objects(r), phiV, b, r.M())
+}
+
+// isDuplicate applies the C_V^D test: non-zero conditional mass on at
+// least two tuples (clusters) and non-zero O counts in at least two
+// attributes.
+func isDuplicate(d *limbo.DCF) bool {
+	if len(d.Sum) < 2 {
+		return false
+	}
+	attrs := 0
+	for _, c := range d.Counts {
+		if c > 0 {
+			attrs++
+			if attrs >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DuplicateGroups returns the indices of the C_V^D groups.
+func (c *Clustering) DuplicateGroups() []int {
+	var out []int
+	for i, g := range c.Groups {
+		if g.Duplicate {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NonDuplicateGroups returns the indices of the C_V^ND groups.
+func (c *Clustering) NonDuplicateGroups() []int {
+	var out []int
+	for i, g := range c.Groups {
+		if !g.Duplicate {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Anomaly is a value whose association with its summary is unusually
+// lossy — the §6.2 "values responsible for the errors in the tuple
+// proximity" surfaced without knowing the injections.
+type Anomaly struct {
+	Value int32
+	Group int
+	Loss  float64
+}
+
+// Anomalies returns the topN values with the highest Phase 3 association
+// loss (descending). Values that fit their summary exactly (loss 0) are
+// never reported.
+func (c *Clustering) Anomalies(topN int) []Anomaly {
+	var out []Anomaly
+	for v, a := range c.Assign {
+		if a.Cluster >= 0 && a.Loss > 1e-12 {
+			out = append(out, Anomaly{Value: int32(v), Group: a.Cluster, Loss: a.Loss})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Loss != out[j].Loss {
+			return out[i].Loss > out[j].Loss
+		}
+		return out[i].Value < out[j].Value
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// MatrixF builds the paper's matrix F: one row per attribute of A^D
+// (attributes supporting at least one duplicate group), one column per
+// C_V^D group, entries from the merged O counts. It returns the rows and
+// the attribute indices of A^D.
+func (c *Clustering) MatrixF() (rows [][]int64, attrIdx []int) {
+	dups := c.DuplicateGroups()
+	if len(dups) == 0 {
+		return nil, nil
+	}
+	m := c.NumAttrs
+	full := make([][]int64, m)
+	for a := 0; a < m; a++ {
+		full[a] = make([]int64, len(dups))
+	}
+	for j, gi := range dups {
+		for a, cnt := range c.Groups[gi].DCF.Counts {
+			full[a][j] = cnt
+		}
+	}
+	for a := 0; a < m; a++ {
+		nonzero := false
+		for _, v := range full[a] {
+			if v != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if nonzero {
+			rows = append(rows, full[a])
+			attrIdx = append(attrIdx, a)
+		}
+	}
+	return rows, attrIdx
+}
