@@ -308,6 +308,55 @@ func BenchmarkMicroAIB(b *testing.B) {
 	}
 }
 
+// benchAIBObjects builds q random objects with small sparse supports over
+// a bounded domain, the shape the AIB engine sees from LIMBO Phase 2 leaf
+// summaries.
+func benchAIBObjects(q int) []ib.Object {
+	rng := rand.New(rand.NewSource(17))
+	objs := make([]ib.Object, q)
+	for i := range objs {
+		es := make([]it.Entry, 8)
+		for j := range es {
+			es[j] = it.Entry{Idx: int32(rng.Intn(256)), P: rng.Float64() + 0.01}
+		}
+		objs[i] = ib.Object{Label: fmt.Sprint(i), P: 1 / float64(q), Cond: it.NewVec(es).Normalize()}
+	}
+	return objs
+}
+
+// BenchmarkAIBInit isolates candidate initialization: parallel δI over
+// the q(q−1)/2 initial pairs plus the single O(q²) heapify, with one
+// merge step (k = q−1) so the engine path is fully exercised.
+func BenchmarkAIBInit(b *testing.B) {
+	for _, q := range []int{512, 1024, 2048} {
+		objs := benchAIBObjects(q)
+		b.Run(fmt.Sprintf("q=%d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ib.AgglomerateK(objs, q-1)
+			}
+		})
+	}
+}
+
+// BenchmarkAgglomerate runs the full merge sequence with the parallel
+// engine and the retained serial reference at matched inputs; the ratio
+// is the tentpole's speedup figure (scripts/bench.sh records both).
+func BenchmarkAgglomerate(b *testing.B) {
+	for _, q := range []int{512, 1024, 2048} {
+		objs := benchAIBObjects(q)
+		b.Run(fmt.Sprintf("parallel/q=%d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ib.Agglomerate(objs)
+			}
+		})
+		b.Run(fmt.Sprintf("serial/q=%d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ib.AgglomerateSerial(objs)
+			}
+		})
+	}
+}
+
 func BenchmarkMicroFDEP(b *testing.B) {
 	r := benchDB2(b)
 	b.ResetTimer()

@@ -12,7 +12,6 @@
 package ib
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -60,30 +59,24 @@ type pairItem struct {
 	a, b int // node ids
 }
 
-type pairHeap []pairItem
-
-func (h pairHeap) Len() int { return len(h) }
-func (h pairHeap) Less(i, j int) bool {
-	if h[i].loss != h[j].loss {
-		return h[i].loss < h[j].loss
+// lessPair is the strict total order of the candidate queue: loss first,
+// then (a, b) as a deterministic tie-break for reproducible dendrograms.
+// Because the order is total and every (a, b) pair is enqueued at most
+// once, candidates pop in the same sequence no matter how the heap was
+// built — the determinism guarantee the parallel engine relies on.
+func lessPair(x, y pairItem) bool {
+	if x.loss != y.loss {
+		return x.loss < y.loss
 	}
-	// Deterministic tie-break for reproducible dendrograms.
-	if h[i].a != h[j].a {
-		return h[i].a < h[j].a
+	if x.a != y.a {
+		return x.a < y.a
 	}
-	return h[i].b < h[j].b
-}
-func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pairItem)) }
-func (h *pairHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return x.b < y.b
 }
 
-// AgglomerateK runs AIB until k clusters remain.
+// AgglomerateK runs AIB until k clusters remain. Candidate δI values are
+// computed in parallel (see parallel.go); the merge sequence is
+// bit-identical to AgglomerateKSerial's for any GOMAXPROCS.
 func AgglomerateK(objects []Object, k int) *Result {
 	q := len(objects)
 	res := &Result{Objects: objects}
@@ -97,69 +90,16 @@ func AgglomerateK(objects []Object, k int) *Result {
 	if k < 1 {
 		k = 1
 	}
-
-	type cluster struct {
-		p    float64
-		cond it.Vec
-	}
 	// Node id space: 0..q-1 inputs, q..2q-2 merge results.
-	clusters := make([]cluster, q, 2*q-1)
-	alive := make([]bool, q, 2*q-1)
-	for i, o := range objects {
-		clusters[i] = cluster{p: o.P, cond: o.Cond}
-		alive[i] = true
-	}
 	res.parent = make([]int, q, 2*q-1)
 	for i := range res.parent {
 		res.parent[i] = -1
 	}
-
-	h := &pairHeap{}
-	for i := 0; i < q; i++ {
-		for j := i + 1; j < q; j++ {
-			heap.Push(h, pairItem{
-				loss: it.DeltaI(clusters[i].p, clusters[i].cond, clusters[j].p, clusters[j].cond),
-				a:    i, b: j,
-			})
-		}
-	}
-
-	aliveCount := q
-	for aliveCount > k {
-		var top pairItem
-		for {
-			if h.Len() == 0 {
-				// Should not happen; defensive.
-				return res
-			}
-			top = heap.Pop(h).(pairItem)
-			if alive[top.a] && alive[top.b] {
-				break
-			}
-		}
-		c1, c2 := clusters[top.a], clusters[top.b]
-		pStar := c1.p + c2.p
-		var cond it.Vec
-		if pStar > 0 {
-			cond = it.Mix(c1.p/pStar, c1.cond, c2.p/pStar, c2.cond)
-		}
-		node := len(clusters)
-		clusters = append(clusters, cluster{p: pStar, cond: cond})
-		alive[top.a], alive[top.b] = false, false
-		alive = append(alive, true)
-		res.parent[top.a], res.parent[top.b] = node, node
-		res.parent = append(res.parent, -1)
-		aliveCount--
-		res.Merges = append(res.Merges, Merge{
-			Left: top.a, Right: top.b, Node: node, Loss: top.loss, K: aliveCount,
-		})
-		for id := 0; id < node; id++ {
-			if alive[id] {
-				heap.Push(h, pairItem{
-					loss: it.DeltaI(clusters[id].p, clusters[id].cond, pStar, cond),
-					a:    id, b: node,
-				})
-			}
+	e := newEngine(objects)
+	for e.aliveCount > k {
+		if !e.step(res) {
+			// Should not happen; defensive.
+			break
 		}
 	}
 	return res
@@ -168,14 +108,45 @@ func AgglomerateK(objects []Object, k int) *Result {
 // NumObjects returns q, the number of input objects.
 func (r *Result) NumObjects() int { return len(r.Objects) }
 
-// Members returns the input-object indices under dendrogram node id.
+// Members returns the input-object indices under dendrogram node id, in
+// left-to-right dendrogram order. The walk is iterative with an explicit
+// stack — the earlier recursive version re-copied every subtree slice on
+// the way up, going quadratic on chain-shaped dendrograms — and the
+// output is allocated once at exactly the subtree's leaf count.
 func (r *Result) Members(node int) []int {
 	q := len(r.Objects)
 	if node < q {
 		return []int{node}
 	}
-	m := r.Merges[node-q]
-	return append(r.Members(m.Left), r.Members(m.Right)...)
+	// First pass: count leaves so the output can be sized exactly.
+	stack := make([]int, 1, 64)
+	stack[0] = node
+	leaves := 0
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n < q {
+			leaves++
+			continue
+		}
+		m := r.Merges[n-q]
+		stack = append(stack, m.Left, m.Right)
+	}
+	out := make([]int, 0, leaves)
+	stack = append(stack[:0], node)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n < q {
+			out = append(out, n)
+			continue
+		}
+		m := r.Merges[n-q]
+		// Right pushed first so Left pops first, preserving the
+		// left-subtree-then-right-subtree order of the recursion.
+		stack = append(stack, m.Right, m.Left)
+	}
+	return out
 }
 
 // ClustersAt returns the clustering with k clusters as groups of input

@@ -1,0 +1,72 @@
+package ib
+
+// minHeap is a slice-backed binary min-heap over a concrete element type,
+// ordered by less. It replaces the container/heap implementation the
+// engine started with: the generic value type removes the per-Push
+// interface boxing (one heap allocation per candidate) that
+// container/heap's any-typed API forces, and exposes the O(n) bulk init
+// the parallel engine needs after candidate generation and compaction.
+type minHeap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+func (h *minHeap[T]) len() int { return len(h.items) }
+
+// init establishes the heap invariant over items in O(n) (Floyd's
+// bottom-up heapify) — the bulk counterpart of n push calls' O(n log n).
+func (h *minHeap[T]) init() {
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *minHeap[T]) push(x T) {
+	h.items = append(h.items, x)
+	h.siftUp(len(h.items) - 1)
+}
+
+// pop removes and returns the minimum element. The heap must be
+// non-empty.
+func (h *minHeap[T]) pop() T {
+	n := len(h.items) - 1
+	h.items[0], h.items[n] = h.items[n], h.items[0]
+	x := h.items[n]
+	var zero T
+	h.items[n] = zero
+	h.items = h.items[:n]
+	if n > 0 {
+		h.siftDown(0)
+	}
+	return x
+}
+
+func (h *minHeap[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *minHeap[T]) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		m := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			m = right
+		}
+		if !h.less(h.items[m], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
+}

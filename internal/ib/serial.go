@@ -1,0 +1,113 @@
+package ib
+
+import (
+	"container/heap"
+
+	"structmine/internal/it"
+)
+
+// refHeap is the container/heap priority queue of the original serial
+// engine, retained for the reference implementation below (and
+// modernized from interface{} to any while here). The production engine
+// uses the boxing-free minHeap in heap.go instead.
+type refHeap []pairItem
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return lessPair(h[i], h[j]) }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(pairItem)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// AgglomerateSerial runs the single-threaded reference engine to one
+// cluster. See AgglomerateKSerial.
+func AgglomerateSerial(objects []Object) *Result {
+	return AgglomerateKSerial(objects, 1)
+}
+
+// AgglomerateKSerial is the original single-threaded AIB engine, kept
+// verbatim as the differential-testing oracle and benchmark baseline for
+// the parallel engine: property tests assert both produce bit-identical
+// merge sequences, and BenchmarkAgglomerate measures the speedup against
+// it. New callers should use AgglomerateK.
+func AgglomerateKSerial(objects []Object, k int) *Result {
+	q := len(objects)
+	res := &Result{Objects: objects}
+	if q == 0 || k >= q {
+		res.parent = make([]int, q)
+		for i := range res.parent {
+			res.parent[i] = -1
+		}
+		return res
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	// Node id space: 0..q-1 inputs, q..2q-2 merge results.
+	clusters := make([]cluster, q, 2*q-1)
+	alive := make([]bool, q, 2*q-1)
+	for i, o := range objects {
+		clusters[i] = cluster{p: o.P, cond: o.Cond}
+		alive[i] = true
+	}
+	res.parent = make([]int, q, 2*q-1)
+	for i := range res.parent {
+		res.parent[i] = -1
+	}
+
+	h := &refHeap{}
+	for i := 0; i < q; i++ {
+		for j := i + 1; j < q; j++ {
+			heap.Push(h, pairItem{
+				loss: it.DeltaI(clusters[i].p, clusters[i].cond, clusters[j].p, clusters[j].cond),
+				a:    i, b: j,
+			})
+		}
+	}
+
+	aliveCount := q
+	for aliveCount > k {
+		var top pairItem
+		for {
+			if h.Len() == 0 {
+				// Should not happen; defensive.
+				return res
+			}
+			top = heap.Pop(h).(pairItem)
+			if alive[top.a] && alive[top.b] {
+				break
+			}
+		}
+		c1, c2 := clusters[top.a], clusters[top.b]
+		pStar := c1.p + c2.p
+		var cond it.Vec
+		if pStar > 0 {
+			cond = it.Mix(c1.p/pStar, c1.cond, c2.p/pStar, c2.cond)
+		}
+		node := len(clusters)
+		clusters = append(clusters, cluster{p: pStar, cond: cond})
+		alive[top.a], alive[top.b] = false, false
+		alive = append(alive, true)
+		res.parent[top.a], res.parent[top.b] = node, node
+		res.parent = append(res.parent, -1)
+		aliveCount--
+		res.Merges = append(res.Merges, Merge{
+			Left: top.a, Right: top.b, Node: node, Loss: top.loss, K: aliveCount,
+		})
+		for id := 0; id < node; id++ {
+			if alive[id] {
+				heap.Push(h, pairItem{
+					loss: it.DeltaI(clusters[id].p, clusters[id].cond, pStar, cond),
+					a:    id, b: node,
+				})
+			}
+		}
+	}
+	return res
+}

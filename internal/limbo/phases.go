@@ -2,11 +2,10 @@ package limbo
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"structmine/internal/ib"
 	"structmine/internal/it"
+	"structmine/internal/par"
 )
 
 // Phase2 runs AIB over the Phase 1 leaf summaries down to k clusters and
@@ -77,10 +76,12 @@ type Assignment struct {
 // Assign performs Phase 3: each object is associated with the
 // representative minimizing the information loss of merging them. The
 // scan parallelizes across objects when the workload is large (each
-// comparison only reads the representatives' sums).
+// comparison only reads the representatives' sums); the cutoff and
+// chunking policy are the shared ones in internal/par, the same pool the
+// AIB engine behind Phase 2 uses.
 func Assign(reps []*DCF, objs []Obj) []Assignment {
 	out := make([]Assignment, len(objs))
-	assignRange := func(lo, hi int) {
+	par.For(len(objs), len(objs)*len(reps), func(lo, hi int) {
 		for oi := lo; oi < hi; oi++ {
 			best, bestDist := -1, math.Inf(1)
 			for ri, r := range reps {
@@ -90,27 +91,7 @@ func Assign(reps []*DCF, objs []Obj) []Assignment {
 			}
 			out[oi] = Assignment{Cluster: best, Loss: bestDist}
 		}
-	}
-	const parallelCutoff = 4096
-	workers := runtime.GOMAXPROCS(0)
-	if len(objs)*len(reps) < parallelCutoff || workers < 2 {
-		assignRange(0, len(objs))
-		return out
-	}
-	var wg sync.WaitGroup
-	chunk := (len(objs) + workers - 1) / workers
-	for lo := 0; lo < len(objs); lo += chunk {
-		hi := lo + chunk
-		if hi > len(objs) {
-			hi = len(objs)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			assignRange(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return out
 }
 

@@ -1,0 +1,59 @@
+// Package par holds the single parallel-iteration policy shared by the
+// CPU-bound inner loops of the miner: AIB candidate generation and
+// post-merge recomputation (internal/ib) and LIMBO's Phase 3 assignment
+// scan (internal/limbo). Centralizing the cutoff and chunking here keeps
+// the serial/parallel decision consistent across call sites and gives
+// tests one knob to reason about.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Cutoff is the minimum estimated work, in kernel evaluations (δI / JS
+// computations or comparable units), below which For runs the loop
+// serially. Small workloads are dominated by goroutine startup and
+// barrier cost; this value matches the cutoff LIMBO's assignment scan
+// shipped with.
+const Cutoff = 4096
+
+// For partitions the index range [0, n) into one contiguous chunk per
+// available worker and invokes fn(lo, hi) on each chunk concurrently,
+// returning when every chunk is done. When the estimated work is below
+// Cutoff, or only one P is available, fn runs once on the caller's
+// goroutine as fn(0, n) — no goroutines are spawned.
+//
+// fn must be safe to run concurrently on disjoint ranges: writes must go
+// to per-index slots (out[i]) or otherwise not alias across chunks.
+// Determinism note: For only partitions the index space; callers that
+// need deterministic results must make fn(i) independent of chunk
+// boundaries, which every call site in this repo does (pure per-index
+// computation into a preallocated slice).
+func For(n, work int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if work < Cutoff || workers < 2 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

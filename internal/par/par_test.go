@@ -1,0 +1,75 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// coverage runs For and records how many times each index was visited.
+func coverage(t *testing.T, n, work int) []int32 {
+	t.Helper()
+	hits := make([]int32, n)
+	var mu sync.Mutex
+	For(n, work, func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad range [%d, %d) for n=%d", lo, hi, n)
+		}
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			hits[i]++
+		}
+		mu.Unlock()
+	})
+	return hits
+}
+
+func assertEachOnce(t *testing.T, hits []int32) {
+	t.Helper()
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForCoversRangeSerial(t *testing.T) {
+	// work below Cutoff forces the serial path.
+	assertEachOnce(t, coverage(t, 100, 1))
+}
+
+func TestForCoversRangeParallel(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	assertEachOnce(t, coverage(t, 10_001, Cutoff*10))
+}
+
+func TestForEmptyAndTiny(t *testing.T) {
+	called := false
+	For(0, Cutoff*10, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn invoked for n=0")
+	}
+	For(-3, Cutoff*10, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn invoked for n<0")
+	}
+	// n smaller than the worker count still covers every index once.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	assertEachOnce(t, coverage(t, 3, Cutoff*10))
+}
+
+func TestForParallelWritesDisjointSlots(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	n := 50_000
+	out := make([]int, n)
+	For(n, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = i * i
+		}
+	})
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

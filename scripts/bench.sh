@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the information-theoretic kernel and AIB engine benchmarks with
+# -benchmem and records the results as JSON (default BENCH_1.json in the
+# repo root; pass a different path as $1). BENCHTIME overrides the
+# per-benchmark -benchtime (default 1x: one timed run per benchmark, fast
+# and adequate for the second-scale engine benchmarks).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_1.json}
+pattern='^(BenchmarkAIBInit|BenchmarkAgglomerate|BenchmarkMicroAIB|BenchmarkMicroEntropy|BenchmarkMicroJS|BenchmarkMicroDeltaISmallVsLarge|BenchmarkMicroDCFTreeInsert)$'
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem \
+  -benchtime "${BENCHTIME:-1x}" -timeout 45m . | tee "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v cpus="$(nproc)" '
+BEGIN { n = 0 }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = "null"; bytes = "null"; allocs = "null"
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op")     ns     = $(i-1)
+        if ($i == "B/op")      bytes  = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    line[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                        name, iters, ns, bytes, allocs)
+}
+END {
+    print "{"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"cpus\": %s,\n", cpus
+    print "  \"benchmarks\": ["
+    for (i = 0; i < n; i++) printf "%s%s\n", line[i], (i < n-1 ? "," : "")
+    print "  ]"
+    print "}"
+}' "$tmp" > "$out"
+
+echo "wrote $out"

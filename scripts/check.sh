@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Static checks plus the full test suite under the race detector — the
+# gate for the concurrent AIB / LIMBO code paths. (The parallel tests
+# raise GOMAXPROCS themselves, so races are exercised even on one CPU.)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./...
