@@ -3,30 +3,38 @@
 //
 // Usage:
 //
-//	structmine <task> [flags] <file.csv>
+//	structmine <task> [flags] <file.csv ...>
 //
-// Tasks:
+// Tasks (this list mirrors internal/task.Specs; a test keeps them in
+// sync):
 //
-//	describe     print instance statistics
-//	dedup        find duplicate / near-duplicate tuples (-phit)
+//	describe     print instance statistics and per-attribute profiles
+//	report       full structure report (profiles, duplicates, ranked FDs)
+//	dedup        find duplicate / near-duplicate tuples (-phit -minsim)
 //	partition    horizontal partitioning (-k, 0 = automatic)
 //	values       cluster co-occurring attribute values (-phiv)
 //	group-attrs  attribute grouping dendrogram (-phiv, -double)
 //	mine-fds     discover minimal FDs (+ minimum cover)
-//	mine-mvds    discover multivalued dependencies (X ->-> Y)
+//	mine-mvds    discover multivalued dependencies (X ->-> Y) (-maxlhs)
 //	approx-fds   discover approximate FDs under a g3 bound (-eps)
-//	report       full structure report (profiles, duplicates, ranked FDs)
 //	rank-fds     FD-RANK pipeline with RAD/RTR per dependency (-psi)
 //	decompose    apply the top-ranked FD as a lossless vertical split
 //	joins        discover join paths across several CSVs (-mincont)
+//
+// Every task also accepts -json, which emits the same machine-readable
+// result the structmined server serves — one output contract for both
+// front ends.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"structmine"
+	"structmine/internal/task"
 )
 
 func main() {
@@ -36,13 +44,26 @@ func main() {
 	}
 }
 
+func usageError() error {
+	return fmt.Errorf("usage: structmine <task> [flags] <file.csv ...>\n\nTasks:\n%s", task.Usage())
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: structmine <describe|report|dedup|partition|values|group-attrs|mine-fds|approx-fds|rank-fds> [flags] <file.csv>")
+		return usageError()
 	}
-	task := args[0]
+	taskName := args[0]
+	if _, ok := task.Lookup(taskName); !ok {
+		return fmt.Errorf("unknown task %q\n\nTasks:\n%s", taskName, task.Usage())
+	}
 
-	fs := flag.NewFlagSet(task, flag.ContinueOnError)
+	fs := flag.NewFlagSet(taskName, flag.ContinueOnError)
 	phiT := fs.Float64("phit", 0.0, "tuple clustering accuracy φT")
 	phiV := fs.Float64("phiv", 0.0, "value clustering accuracy φV")
 	psi := fs.Float64("psi", 0.5, "FD-RANK threshold ψ")
@@ -50,13 +71,15 @@ func run(args []string) error {
 	topN := fs.Int("top", 10, "how many results to print")
 	double := fs.Bool("double", false, "use double clustering (large instances)")
 	eps := fs.Float64("eps", 0.05, "g3 error bound for approx-fds")
+	maxLHS := fs.Int("maxlhs", 0, "maximum antecedent size for mine-mvds/approx-fds (0 = default)")
 	minSim := fs.Float64("minsim", 0.5, "minimum string similarity for dedup pairs")
 	minCont := fs.Float64("mincont", 0.9, "minimum containment for the joins task")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON (the structmined output contract)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
 
-	if task == "joins" {
+	if taskName == "joins" {
 		if fs.NArg() < 2 {
 			return fmt.Errorf("task joins requires at least two CSV files")
 		}
@@ -67,6 +90,9 @@ func run(args []string) error {
 				return err
 			}
 			rels = append(rels, rel)
+		}
+		if *jsonOut {
+			return printJSON(structmine.FindJoinableResult(rels, *minCont, 2))
 		}
 		cands := structmine.FindJoinable(rels, *minCont, 2)
 		fmt.Printf("%d joinable attribute pairs (containment >= %g):\n", len(cands), *minCont)
@@ -82,16 +108,28 @@ func run(args []string) error {
 	}
 
 	if fs.NArg() != 1 {
-		return fmt.Errorf("task %s requires exactly one CSV file", task)
+		return fmt.Errorf("task %s requires exactly one CSV file", taskName)
 	}
 	r, err := structmine.ReadCSVFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	m := structmine.NewMiner(r, structmine.Options{PhiT: *phiT, PhiV: *phiV, Psi: *psi})
+
+	if *jsonOut {
+		res, err := m.RunTask(context.Background(), taskName, structmine.TaskParams{
+			PhiT: *phiT, PhiV: *phiV, Psi: *psi, K: *k,
+			Eps: *eps, MaxLHS: *maxLHS, MinSim: *minSim, Double: *double,
+		})
+		if err != nil {
+			return err
+		}
+		return printJSON(res)
+	}
+
 	fmt.Println(m.Describe())
 
-	switch task {
+	switch taskName {
 	case "describe":
 		for a := 0; a < r.M(); a++ {
 			fmt.Printf("  %-24s %5d distinct, %5.1f%% NULL\n",
@@ -108,11 +146,15 @@ func run(args []string) error {
 		return nil
 
 	case "approx-fds":
-		fds, err := m.MineApproxFDs(*eps, 3)
+		lhs := *maxLHS
+		if lhs == 0 {
+			lhs = 3
+		}
+		fds, err := m.MineApproxFDs(*eps, lhs)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%d minimal approximate FDs with g3 ≤ %g (LHS ≤ 3):\n", len(fds), *eps)
+		fmt.Printf("%d minimal approximate FDs with g3 ≤ %g (LHS ≤ %d):\n", len(fds), *eps, lhs)
 		for i, a := range fds {
 			if i >= *topN {
 				fmt.Printf("  ... %d more\n", len(fds)-i)
@@ -189,7 +231,7 @@ func run(args []string) error {
 		return nil
 
 	case "mine-mvds":
-		mvds, err := m.MineMVDs(0, true)
+		mvds, err := m.MineMVDs(*maxLHS, true)
 		if err != nil {
 			return err
 		}
@@ -260,6 +302,6 @@ func run(args []string) error {
 		return fmt.Errorf("no decomposable dependency found")
 
 	default:
-		return fmt.Errorf("unknown task %q", task)
+		return fmt.Errorf("unknown task %q", taskName)
 	}
 }

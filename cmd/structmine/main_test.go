@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"structmine/internal/datagen"
+	"structmine/internal/relation"
+	"structmine/internal/task"
 )
 
 // writeFixture materializes the DB2 sample join (with a few injected
@@ -131,5 +136,140 @@ func TestRunErrors(t *testing.T) {
 	devNull.Close()
 	if err == nil {
 		t.Error("unknown task should error")
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it wrote.
+func captureStdout(t *testing.T, f func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	rd, wr, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wr
+	done := make(chan []byte)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(rd)
+		done <- buf.Bytes()
+	}()
+	ferr := f()
+	os.Stdout = old
+	wr.Close()
+	out := <-done
+	rd.Close()
+	if ferr != nil {
+		t.Fatalf("run: %v", ferr)
+	}
+	return out
+}
+
+// TestRunJSONMode drives every task with -json and checks the output is
+// a decodable JSON object (the structmined output contract).
+func TestRunJSONMode(t *testing.T) {
+	path := writeFixture(t)
+	narrowPath := writeNarrowFixture(t)
+	tasks := [][]string{
+		{"describe", "-json", path},
+		{"report", "-json", path},
+		{"dedup", "-json", "-phit", "0.1", path},
+		{"partition", "-json", "-k", "2", path},
+		{"values", "-json", path},
+		{"group-attrs", "-json", path},
+		{"mine-fds", "-json", path},
+		{"approx-fds", "-json", "-eps", "0.05", path},
+		{"rank-fds", "-json", path},
+		{"decompose", "-json", path},
+		{"mine-mvds", "-json", narrowPath},
+	}
+	for _, args := range tasks {
+		out := captureStdout(t, func() error { return run(args) })
+		var decoded map[string]any
+		if err := json.Unmarshal(out, &decoded); err != nil {
+			t.Errorf("task %v: output is not a JSON object: %v\n%.200s", args, err, out)
+			continue
+		}
+		if len(decoded) == 0 {
+			t.Errorf("task %v: empty JSON object", args)
+		}
+	}
+}
+
+func TestRunJSONModeJoins(t *testing.T) {
+	db, err := datagen.NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var paths []string
+	for name, rel := range map[string]*relation.Relation{
+		"emp.csv": db.Employee, "dep.csv": db.Department,
+	} {
+		p := filepath.Join(dir, name)
+		if err := rel.WriteCSVFile(p); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	out := captureStdout(t, func() error {
+		return run(append([]string{"joins", "-json", "-mincont", "0.95"}, paths...))
+	})
+	var res struct {
+		Candidates []map[string]any `json:"candidates"`
+	}
+	if err := json.Unmarshal(out, &res); err != nil {
+		t.Fatalf("joins -json output: %v\n%.200s", err, out)
+	}
+	if len(res.Candidates) == 0 {
+		t.Error("joins -json should find joinable pairs in the DB2 sample")
+	}
+}
+
+// TestRankFDsJSONShape pins the -json output of rank-fds to the shared
+// contract types.
+func TestRankFDsJSONShape(t *testing.T) {
+	path := writeFixture(t)
+	out := captureStdout(t, func() error { return run([]string{"rank-fds", "-json", path}) })
+	var res struct {
+		Psi    float64 `json:"psi"`
+		Ranked []struct {
+			FD   struct{ Label string } `json:"fd"`
+			Rank float64                `json:"rank"`
+		} `json:"ranked"`
+	}
+	if err := json.Unmarshal(out, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Psi != 0.5 || len(res.Ranked) == 0 || res.Ranked[0].FD.Label == "" {
+		t.Errorf("unexpected rank-fds shape: psi=%g ranked=%d", res.Psi, len(res.Ranked))
+	}
+}
+
+// TestDocCommentListsEveryTask keeps the package doc comment in sync
+// with the task table: every task in internal/task.Specs must appear in
+// the comment block above `package main`, and the usage string must
+// mention each one.
+func TestDocCommentListsEveryTask(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.Index(src, []byte("package main"))
+	if idx < 0 {
+		t.Fatal("main.go has no package clause")
+	}
+	doc := string(src[:idx])
+	for _, name := range task.Names() {
+		if !strings.Contains(doc, "\t"+name+" ") && !strings.Contains(doc, "\t"+name+"\n") {
+			t.Errorf("doc comment omits task %q", name)
+		}
+	}
+	usage := usageError().Error()
+	for _, name := range task.Names() {
+		if !strings.Contains(usage, name) {
+			t.Errorf("usage string omits task %q", name)
+		}
 	}
 }

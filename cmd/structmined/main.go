@@ -1,0 +1,119 @@
+// Command structmined is the structure-mining daemon: a long-running
+// HTTP/JSON service that keeps parsed relations resident, executes
+// mining tasks as asynchronous jobs on a bounded worker pool, and serves
+// identical repeated queries from a content-addressed artifact cache.
+//
+// Usage:
+//
+//	structmined [flags] [dataset.csv ...]
+//
+// CSV files given on the command line are pre-registered at startup.
+//
+// Endpoints:
+//
+//	POST /datasets            register a dataset (raw CSV body, or JSON {"path":...} / {"name":...,"csv":...})
+//	GET  /datasets            list registered datasets
+//	GET  /datasets/{id}       one dataset with its resident statistics
+//	POST /jobs                submit a job: {"dataset":id,"task":name,"params":{...}}
+//	GET  /jobs                list jobs
+//	GET  /jobs/{id}           poll one job (queued|running|done|failed|canceled)
+//	GET  /jobs/{id}/result    fetch a completed job's artifact
+//	POST /jobs/{id}/cancel    cancel a queued or running job
+//	GET  /tasks               list runnable tasks
+//	GET  /healthz             liveness, drain state, cache counters
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: new work is rejected with
+// 503 while accepted jobs drain, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"structmine/internal/relation"
+	"structmine/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "structmined:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a shutdown signal arrives. When
+// ready is non-nil, the bound address is sent on it once the listener is
+// up (used by tests binding port 0).
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("structmined", flag.ContinueOnError)
+	addr := fs.String("addr", ":8421", "listen address")
+	workers := fs.Int("workers", 2, "job worker-pool size")
+	queueDepth := fs.Int("queue", 64, "maximum number of queued jobs")
+	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-job wall-clock budget")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs")
+	maxRows := fs.Int("max-rows", 0, "maximum data rows per registered CSV (0 = unlimited)")
+	maxFields := fs.Int("max-fields", 0, "maximum columns per registered CSV (0 = unlimited)")
+	maxUpload := fs.Int64("max-upload", 64<<20, "maximum dataset upload size in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		JobTimeout:     *jobTimeout,
+		Limits:         relation.Limits{MaxRows: *maxRows, MaxFields: *maxFields},
+		MaxUploadBytes: *maxUpload,
+	})
+	for _, path := range fs.Args() {
+		ds, _, err := srv.Registry().RegisterPath(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("registered %s as %s (%d tuples, %d attributes)\n",
+			path, ds.ID, ds.Summary.Tuples, ds.Summary.Attributes)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("structmined listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("received %s, draining jobs\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the job runner first — new submissions get 503 while the
+	// HTTP surface stays up for status polls — then close the listener.
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "structmined: drain incomplete: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("structmined stopped")
+	return nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"structmine/internal/datagen"
+)
+
+// TestDaemonLifecycle boots the daemon on a random port with a
+// pre-registered dataset, runs a job over HTTP, checks the repeat is a
+// cache hit, then sends SIGTERM and waits for a clean exit.
+func TestDaemonLifecycle(t *testing.T) {
+	db, err := datagen.NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "db2.csv")
+	if err := db.Joined.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", path}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-errc:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+
+	// The command-line dataset is pre-registered.
+	resp, err := http.Get(base + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var datasets []struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&datasets); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(datasets) != 1 {
+		t.Fatalf("datasets = %d, want the pre-registered one", len(datasets))
+	}
+
+	submit := func() (id, state string, cacheHit bool) {
+		body, _ := json.Marshal(map[string]any{"dataset": datasets[0].ID, "task": "mine-fds"})
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v struct {
+			ID       string `json:"id"`
+			State    string `json:"state"`
+			CacheHit bool   `json:"cache_hit"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		return v.ID, v.State, v.CacheHit
+	}
+
+	id, _, hit := submit()
+	if hit {
+		t.Fatal("first submission must not be a cache hit")
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if v.State == "done" {
+			break
+		}
+		if v.State == "failed" || v.State == "canceled" {
+			t.Fatalf("job %s: %s (%s)", id, v.State, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, v.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, state, hit := submit(); !hit || state != "done" {
+		t.Fatalf("repeat submission: state=%s hit=%t, want instant cache hit", state, hit)
+	}
+
+	// SIGTERM drains and exits cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil && !strings.Contains(err.Error(), "Server closed") {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not stop on SIGTERM")
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:0", "/nonexistent.csv"}, nil); err == nil {
+		t.Error("unreadable dataset path should fail startup")
+	}
+	if err := run([]string{"-badflag"}, nil); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

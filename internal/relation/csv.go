@@ -7,14 +7,41 @@ import (
 	"os"
 )
 
-// ReadCSV parses a header-first CSV stream into a Relation. Empty fields
-// become NULL.
+// Limits bounds CSV parsing so a service ingesting untrusted uploads
+// cannot be driven out of memory. Zero values mean "no limit".
+type Limits struct {
+	// MaxRows caps the number of data rows (the header is not counted).
+	MaxRows int
+	// MaxFields caps the number of columns, checked on the header line.
+	MaxFields int
+}
+
+// ReadCSV parses a header-first CSV stream into a Relation with no row or
+// field limits. Empty fields become NULL. Duplicate attribute names in
+// the header are rejected: attribute-qualified value identity (and every
+// by-name lookup) silently misbehaves when two columns share a name.
 func ReadCSV(name string, r io.Reader) (*Relation, error) {
+	return ReadCSVLimited(name, r, Limits{})
+}
+
+// ReadCSVLimited parses a header-first CSV stream into a Relation,
+// enforcing the given limits. All errors carry the 1-based line number.
+func ReadCSVLimited(name string, r io.Reader, lim Limits) (*Relation, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	if lim.MaxFields > 0 && len(header) > lim.MaxFields {
+		return nil, fmt.Errorf("relation: line 1: header has %d fields, limit is %d", len(header), lim.MaxFields)
+	}
+	seen := make(map[string]int, len(header))
+	for i, a := range header {
+		if first, dup := seen[a]; dup {
+			return nil, fmt.Errorf("relation: line 1: duplicate attribute name %q (columns %d and %d)", a, first+1, i+1)
+		}
+		seen[a] = i
 	}
 	b := NewBuilder(name, header)
 	line := 1
@@ -27,11 +54,14 @@ func ReadCSV(name string, r io.Reader) (*Relation, error) {
 			return nil, fmt.Errorf("relation: reading CSV: %w", err)
 		}
 		line++
+		if lim.MaxRows > 0 && line-1 > lim.MaxRows {
+			return nil, fmt.Errorf("relation: line %d: row limit of %d data rows exceeded", line, lim.MaxRows)
+		}
 		if len(rec) != len(header) {
 			return nil, fmt.Errorf("relation: line %d has %d fields, header has %d", line, len(rec), len(header))
 		}
 		if err := b.Add(rec); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("relation: line %d: %w", line, err)
 		}
 	}
 	return b.Relation(), nil
@@ -39,12 +69,17 @@ func ReadCSV(name string, r io.Reader) (*Relation, error) {
 
 // ReadCSVFile opens and parses a CSV file.
 func ReadCSVFile(path string) (*Relation, error) {
+	return ReadCSVFileLimited(path, Limits{})
+}
+
+// ReadCSVFileLimited opens and parses a CSV file under the given limits.
+func ReadCSVFileLimited(path string, lim Limits) (*Relation, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadCSV(path, f)
+	return ReadCSVLimited(path, f, lim)
 }
 
 // WriteCSV serializes the relation with a header row. NULLs are written

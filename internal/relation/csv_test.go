@@ -1,0 +1,62 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadCSVRejectsDuplicateHeader(t *testing.T) {
+	_, err := ReadCSV("dup", strings.NewReader("A,B,A\n1,2,3\n"))
+	if err == nil {
+		t.Fatal("duplicate attribute names should be rejected")
+	}
+	msg := err.Error()
+	for _, want := range []string{"line 1", `"A"`, "columns 1 and 3"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+func TestReadCSVLimitedMaxRows(t *testing.T) {
+	csv := "A,B\n1,2\n3,4\n5,6\n"
+	if _, err := ReadCSVLimited("ok", strings.NewReader(csv), Limits{MaxRows: 3}); err != nil {
+		t.Fatalf("3 rows within limit 3: %v", err)
+	}
+	_, err := ReadCSVLimited("over", strings.NewReader(csv), Limits{MaxRows: 2})
+	if err == nil {
+		t.Fatal("4th line should exceed MaxRows=2")
+	}
+	if !strings.Contains(err.Error(), "line 4") || !strings.Contains(err.Error(), "row limit of 2") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestReadCSVLimitedMaxFields(t *testing.T) {
+	csv := "A,B,C\n1,2,3\n"
+	if _, err := ReadCSVLimited("ok", strings.NewReader(csv), Limits{MaxFields: 3}); err != nil {
+		t.Fatalf("3 fields within limit 3: %v", err)
+	}
+	_, err := ReadCSVLimited("wide", strings.NewReader(csv), Limits{MaxFields: 2})
+	if err == nil {
+		t.Fatal("3-field header should exceed MaxFields=2")
+	}
+	if !strings.Contains(err.Error(), "line 1") || !strings.Contains(err.Error(), "limit is 2") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestReadCSVZeroLimitsUnbounded(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("A,B\n")
+	for i := 0; i < 500; i++ {
+		b.WriteString("x,y\n")
+	}
+	r, err := ReadCSVLimited("big", strings.NewReader(b.String()), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 500 {
+		t.Fatalf("N = %d, want 500", r.N())
+	}
+}

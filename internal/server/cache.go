@@ -1,0 +1,62 @@
+package server
+
+import (
+	"sync"
+
+	"structmine/internal/task"
+)
+
+// Cache is the content-addressed artifact cache: completed task results
+// keyed on (dataset content hash, task, normalized parameters). Because
+// datasets are immutable once registered and every task is
+// deterministic, entries never need invalidation.
+type Cache struct {
+	mu     sync.RWMutex
+	m      map[string]any
+	hits   uint64
+	misses uint64
+}
+
+// NewCache returns an empty artifact cache.
+func NewCache() *Cache { return &Cache{m: map[string]any{}} }
+
+// Key builds the canonical artifact address for one query.
+func Key(datasetHash, taskName string, p task.Params) string {
+	return datasetHash + "|" + p.CacheKey(taskName)
+}
+
+// Get returns the cached artifact and counts the lookup as a hit or
+// miss.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+// Put stores one completed artifact.
+func (c *Cache) Put(key string, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = v
+}
+
+// CacheStats is the cache's observable state, served by /healthz and
+// asserted by the smoke test.
+type CacheStats struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CacheStats{Entries: len(c.m), Hits: c.hits, Misses: c.misses}
+}

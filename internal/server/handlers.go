@@ -1,0 +1,235 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"structmine/internal/task"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /datasets", s.handleRegisterDataset)
+	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
+	s.mux.HandleFunc("GET /datasets/{id}", s.handleGetDataset)
+	s.mux.HandleFunc("POST /jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancelJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /tasks", s.handleListTasks)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// registerRequest is the JSON form of POST /datasets. Alternatively the
+// body may be the CSV itself (Content-Type text/csv) with the dataset
+// name in the ?name= query parameter.
+type registerRequest struct {
+	// Path registers a CSV readable from the server's filesystem.
+	Path string `json:"path,omitempty"`
+	// Name labels inline CSV content.
+	Name string `json:"name,omitempty"`
+	// CSV carries inline content when not uploading raw text/csv.
+	CSV string `json:"csv,omitempty"`
+}
+
+func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	if s.jobs.Draining() {
+		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxUploadBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxUploadBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", s.cfg.MaxUploadBytes)
+		return
+	}
+
+	var ds *Dataset
+	var created bool
+	ct := r.Header.Get("Content-Type")
+	switch {
+	case strings.HasPrefix(ct, "application/json"):
+		var req registerRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		switch {
+		case req.Path != "":
+			ds, created, err = s.reg.RegisterPath(req.Path)
+		case req.CSV != "":
+			ds, created, err = s.reg.RegisterCSV(req.Name, "upload", []byte(req.CSV))
+		default:
+			writeErr(w, http.StatusBadRequest, "request needs either \"path\" or \"csv\"")
+			return
+		}
+	default: // raw CSV upload
+		if len(body) == 0 {
+			writeErr(w, http.StatusBadRequest, "empty CSV body")
+			return
+		}
+		ds, created, err = s.reg.RegisterCSV(r.URL.Query().Get("name"), "upload", body)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "registering dataset: %v", err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, ds)
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	ds, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ds)
+}
+
+// submitRequest is the JSON form of POST /jobs.
+type submitRequest struct {
+	Dataset string      `json:"dataset"`
+	Task    string      `json:"task"`
+	Params  task.Params `json:"params"`
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Dataset == "" || req.Task == "" {
+		writeErr(w, http.StatusBadRequest, "request needs \"dataset\" and \"task\"")
+		return
+	}
+	view, err := s.jobs.Submit(req.Dataset, req.Task, req.Params)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case err != nil:
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "unknown dataset") {
+			code = http.StatusNotFound
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	if view.State == StateDone { // served from the artifact cache
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.List())
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// jobResult wraps a completed artifact with its job metadata.
+type jobResult struct {
+	Job    JobView `json:"job"`
+	Result any     `json:"result"`
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	res, view, ok := s.jobs.Result(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	switch view.State {
+	case StateDone:
+		writeJSON(w, http.StatusOK, jobResult{Job: view, Result: res})
+	case StateFailed, StateCanceled:
+		writeJSON(w, http.StatusConflict, jobResult{Job: view})
+	default:
+		writeErr(w, http.StatusConflict, "job %s is %s; poll GET /jobs/%s until done",
+			view.ID, view.State, view.ID)
+	}
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// healthz is the liveness and stats payload.
+type healthz struct {
+	Status   string     `json:"status"`
+	Draining bool       `json:"draining"`
+	Datasets int        `json:"datasets"`
+	Jobs     int        `json:"jobs"`
+	Cache    CacheStats `json:"cache"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthz{
+		Status:   "ok",
+		Draining: s.jobs.Draining(),
+		Datasets: s.reg.Len(),
+		Jobs:     len(s.jobs.List()),
+		Cache:    s.cache.Stats(),
+	})
+}
+
+func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {
+	type taskInfo struct {
+		Name     string `json:"name"`
+		Synopsis string `json:"synopsis"`
+		Runnable bool   `json:"runnable"`
+	}
+	out := make([]taskInfo, 0, len(task.Specs))
+	for _, sp := range task.Specs {
+		out = append(out, taskInfo{Name: sp.Name, Synopsis: sp.Synopsis, Runnable: !sp.MultiFile})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

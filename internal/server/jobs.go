@@ -1,0 +1,315 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"structmine/internal/task"
+)
+
+// State is a job's lifecycle position: queued → running → done|failed,
+// with canceled reachable from queued or running.
+type State string
+
+// Job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Submission errors the handlers map to HTTP statuses.
+var (
+	ErrDraining  = errors.New("server: shutting down, not accepting jobs")
+	ErrQueueFull = errors.New("server: job queue is full")
+)
+
+// Job is one asynchronous task execution. Mutable fields are guarded by
+// the Runner's mutex; JobView snapshots them for handlers.
+type Job struct {
+	id      string
+	dataset *Dataset
+	task    string
+	params  task.Params
+	key     string // artifact-cache key
+
+	state    State
+	errMsg   string
+	cacheHit bool
+	result   any
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed on any terminal state
+}
+
+// JobView is the JSON shape of a job served by the jobs endpoints.
+type JobView struct {
+	ID       string      `json:"id"`
+	Dataset  string      `json:"dataset"`
+	Task     string      `json:"task"`
+	Params   task.Params `json:"params"`
+	State    State       `json:"state"`
+	Error    string      `json:"error,omitempty"`
+	CacheHit bool        `json:"cache_hit"`
+}
+
+func (j *Job) viewLocked() JobView {
+	return JobView{
+		ID: j.id, Dataset: j.dataset.ID, Task: j.task, Params: j.params,
+		State: j.state, Error: j.errMsg, CacheHit: j.cacheHit,
+	}
+}
+
+// Runner executes jobs on a bounded worker pool and records their
+// lifecycle. Artifacts of completed jobs go to the cache; a submission
+// whose artifact is already cached completes instantly without touching
+// the pool.
+type Runner struct {
+	reg     *Registry
+	cache   *Cache
+	timeout time.Duration
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	seq      int
+	draining bool
+	queue    chan *Job
+
+	workers sync.WaitGroup
+}
+
+// NewRunner starts a pool of `workers` goroutines consuming a queue of
+// depth `depth`. Each job gets `timeout` of wall clock (0 = unlimited).
+func NewRunner(reg *Registry, cache *Cache, workers, depth int, timeout time.Duration) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Runner{
+		reg: reg, cache: cache, timeout: timeout,
+		baseCtx: ctx, baseCancel: cancel,
+		jobs: map[string]*Job{}, queue: make(chan *Job, depth),
+	}
+	q.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// Submit validates and enqueues one job. When the artifact cache already
+// holds the result of an identical query against the same dataset
+// content, the returned job is already done with CacheHit set and no
+// worker is consumed.
+func (q *Runner) Submit(datasetID, taskName string, p task.Params) (JobView, error) {
+	spec, ok := task.Lookup(taskName)
+	if !ok {
+		return JobView{}, fmt.Errorf("server: unknown task %q", taskName)
+	}
+	if spec.MultiFile {
+		return JobView{}, fmt.Errorf("server: task %q operates on several files and cannot run as a job", taskName)
+	}
+	ds, ok := q.reg.Get(datasetID)
+	if !ok {
+		return JobView{}, fmt.Errorf("server: unknown dataset %q", datasetID)
+	}
+	p = p.Normalize(taskName)
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return JobView{}, ErrDraining
+	}
+	q.seq++
+	ctx, cancel := context.WithCancel(q.baseCtx)
+	job := &Job{
+		id: fmt.Sprintf("job-%06d", q.seq), dataset: ds, task: taskName, params: p,
+		key: Key(ds.Hash, taskName, p), state: StateQueued,
+		ctx: ctx, cancel: cancel, done: make(chan struct{}),
+	}
+	if v, ok := q.cache.Get(job.key); ok {
+		job.state = StateDone
+		job.cacheHit = true
+		job.result = v
+		close(job.done)
+		cancel()
+		q.jobs[job.id] = job
+		q.order = append(q.order, job.id)
+		return job.viewLocked(), nil
+	}
+	select {
+	case q.queue <- job:
+	default:
+		cancel()
+		return JobView{}, ErrQueueFull
+	}
+	q.jobs[job.id] = job
+	q.order = append(q.order, job.id)
+	return job.viewLocked(), nil
+}
+
+func (q *Runner) worker() {
+	defer q.workers.Done()
+	for job := range q.queue {
+		q.run(job)
+	}
+}
+
+func (q *Runner) run(job *Job) {
+	q.mu.Lock()
+	if job.state != StateQueued { // canceled while waiting in the queue
+		q.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	q.mu.Unlock()
+
+	ctx := job.ctx
+	if q.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, q.timeout)
+		defer cancel()
+	}
+	res, err := task.Run(ctx, job.dataset.Relation(), job.task, job.params)
+
+	q.mu.Lock()
+	switch {
+	case err == nil:
+		job.state = StateDone
+		job.result = res
+		q.cache.Put(job.key, res)
+	case errors.Is(err, context.Canceled):
+		job.state = StateCanceled
+		job.errMsg = err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		job.state = StateFailed
+		job.errMsg = fmt.Sprintf("job exceeded its %s timeout", q.timeout)
+	default:
+		job.state = StateFailed
+		job.errMsg = err.Error()
+	}
+	close(job.done)
+	q.mu.Unlock()
+	job.cancel()
+}
+
+// Get returns a snapshot of the job with the given id.
+func (q *Runner) Get(id string) (JobView, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job, ok := q.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return job.viewLocked(), true
+}
+
+// Result returns the job's artifact once it is done.
+func (q *Runner) Result(id string) (any, JobView, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job, ok := q.jobs[id]
+	if !ok {
+		return nil, JobView{}, false
+	}
+	return job.result, job.viewLocked(), true
+}
+
+// List returns snapshots of every job in submission order.
+func (q *Runner) List() []JobView {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]JobView, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, q.jobs[id].viewLocked())
+	}
+	return out
+}
+
+// Cancel aborts a job: a queued job terminates immediately; a running
+// one stops at its next pipeline-stage boundary.
+func (q *Runner) Cancel(id string) (JobView, bool) {
+	q.mu.Lock()
+	job, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return JobView{}, false
+	}
+	if job.state == StateQueued {
+		job.state = StateCanceled
+		job.errMsg = "canceled before execution"
+		close(job.done)
+	}
+	view := job.viewLocked()
+	q.mu.Unlock()
+	job.cancel()
+	return view, true
+}
+
+// Done exposes the job's completion channel (closed on any terminal
+// state); it reports false for unknown ids.
+func (q *Runner) Done(id string) (<-chan struct{}, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job, ok := q.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return job.done, true
+}
+
+// Draining reports whether the runner has stopped admitting jobs.
+func (q *Runner) Draining() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.draining
+}
+
+// StartDrain stops admission; already-accepted jobs keep running.
+func (q *Runner) StartDrain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.draining {
+		q.draining = true
+		close(q.queue)
+	}
+}
+
+// Shutdown drains the pool: admission stops, queued and running jobs
+// finish, workers exit. If ctx expires first, in-flight jobs are
+// canceled (they abort at their next stage boundary) and Shutdown waits
+// for the workers before returning the context's error.
+func (q *Runner) Shutdown(ctx context.Context) error {
+	q.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		q.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		q.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"structmine/internal/relation"
+	"structmine/internal/task"
+)
+
+// Dataset is one registered relation instance: the parsed relation and
+// its instance statistics stay resident so repeated jobs never re-parse.
+type Dataset struct {
+	// ID is the content address: a prefix of the SHA-256 of the CSV
+	// bytes. Registering identical content twice yields the same dataset.
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// Hash is the full content hash; it prefixes every cache key.
+	Hash string `json:"hash"`
+	// Source records where the data came from ("upload" or a file path).
+	Source  string               `json:"source"`
+	Summary *task.DescribeResult `json:"summary"`
+
+	rel *relation.Relation
+}
+
+// Relation returns the resident parsed instance.
+func (d *Dataset) Relation() *relation.Relation { return d.rel }
+
+// Registry owns the resident datasets. All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	byID map[string]*Dataset
+	lim  relation.Limits
+}
+
+// NewRegistry returns an empty registry whose CSV parsing enforces lim.
+func NewRegistry(lim relation.Limits) *Registry {
+	return &Registry{byID: map[string]*Dataset{}, lim: lim}
+}
+
+// RegisterCSV parses CSV bytes and registers the resulting relation. It
+// is idempotent on content: re-registering the same bytes returns the
+// existing dataset (and reports created=false).
+func (g *Registry) RegisterCSV(name, source string, data []byte) (ds *Dataset, created bool, err error) {
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:])
+	id := hash[:12]
+
+	g.mu.RLock()
+	existing := g.byID[id]
+	g.mu.RUnlock()
+	if existing != nil {
+		return existing, false, nil
+	}
+
+	if name == "" {
+		name = "dataset-" + id
+	}
+	rel, err := relation.ReadCSVLimited(name, bytes.NewReader(data), g.lim)
+	if err != nil {
+		return nil, false, err
+	}
+	ds = &Dataset{
+		ID: id, Name: name, Hash: hash, Source: source,
+		Summary: task.Describe(rel), rel: rel,
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if prior, ok := g.byID[id]; ok { // lost a registration race
+		return prior, false, nil
+	}
+	g.byID[id] = ds
+	return ds, true, nil
+}
+
+// RegisterPath reads a CSV file from the server's filesystem and
+// registers it under its base name.
+func (g *Registry) RegisterPath(path string) (*Dataset, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("server: reading dataset: %w", err)
+	}
+	return g.RegisterCSV(filepath.Base(path), path, data)
+}
+
+// Get returns the dataset with the given id.
+func (g *Registry) Get(id string) (*Dataset, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ds, ok := g.byID[id]
+	return ds, ok
+}
+
+// List returns every dataset, ordered by id.
+func (g *Registry) List() []*Dataset {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*Dataset, 0, len(g.byID))
+	for _, ds := range g.byID {
+		out = append(out, ds)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of registered datasets.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.byID)
+}

@@ -1,0 +1,99 @@
+// Package server implements structmined, a long-running structure-mining
+// service over the task contract of internal/task. It owns three pieces
+// of state:
+//
+//   - a dataset registry: CSV instances registered once (by path or
+//     upload), parsed under configurable limits, kept resident together
+//     with their instance statistics and content hash;
+//   - an async job runner: a bounded worker pool executing mining tasks
+//     with per-job timeouts and cancellation, states
+//     queued → running → done|failed|canceled;
+//   - a content-addressed artifact cache keyed on (dataset hash, task,
+//     normalized parameters), so an identical repeated query is answered
+//     without re-running the miner.
+//
+// Shutdown is graceful: admission stops (new submissions get 503),
+// accepted jobs drain, then the HTTP listener closes.
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"structmine/internal/relation"
+)
+
+// Config tunes a Server. Zero values select sensible defaults.
+type Config struct {
+	// Workers is the job worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds how many jobs may wait (default 64); submissions
+	// beyond it are rejected with 429.
+	QueueDepth int
+	// JobTimeout is the per-job wall-clock budget (default 5m, 0 keeps
+	// the default; use Server-side cancellation for unlimited jobs).
+	JobTimeout time.Duration
+	// Limits bounds CSV parsing of registered datasets.
+	Limits relation.Limits
+	// MaxUploadBytes bounds the request body of dataset uploads
+	// (default 64 MiB).
+	MaxUploadBytes int64
+}
+
+func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	return c
+}
+
+// Server wires the registry, job runner and artifact cache behind an
+// http.Handler.
+type Server struct {
+	cfg   Config
+	reg   *Registry
+	cache *Cache
+	jobs  *Runner
+	mux   *http.ServeMux
+}
+
+// New assembles a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.normalized()
+	s := &Server{
+		cfg:   cfg,
+		reg:   NewRegistry(cfg.Limits),
+		cache: NewCache(),
+		mux:   http.NewServeMux(),
+	}
+	s.jobs = NewRunner(s.reg, s.cache, cfg.Workers, cfg.QueueDepth, cfg.JobTimeout)
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP surface of the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the dataset registry (used by cmd/structmined to
+// pre-register datasets given on the command line).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// CacheStats returns the artifact cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Shutdown drains the job runner: admission stops, accepted jobs finish
+// (or are canceled when ctx expires first). Call before closing the
+// HTTP listener so in-flight jobs are not lost.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.jobs.Shutdown(ctx)
+}

@@ -1,0 +1,467 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"structmine/internal/datagen"
+	"structmine/internal/relation"
+	"structmine/internal/task"
+)
+
+func db2CSV(t *testing.T) []byte {
+	t.Helper()
+	db, err := datagen.NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := datagen.InjectExactDuplicates(db.Joined, 2, 7).Dirty.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) (int, string) {
+	t.Helper()
+	var rd *bytes.Reader
+	if raw, ok := body.([]byte); ok {
+		rd = bytes.NewReader(raw)
+	} else if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := body.([]byte); ok {
+		req.Header.Set("Content-Type", "text/csv")
+	} else if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, raw.String(), err)
+		}
+	}
+	return resp.StatusCode, raw.String()
+}
+
+func registerDB2(t *testing.T, ts *httptest.Server) Dataset {
+	t.Helper()
+	var ds Dataset
+	code, body := doJSON(t, "POST", ts.URL+"/datasets?name=db2", db2CSV(t), &ds)
+	if code != http.StatusCreated {
+		t.Fatalf("register: %d %s", code, body)
+	}
+	return ds
+}
+
+func waitJob(t *testing.T, ts *httptest.Server, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var v JobView
+		code, body := doJSON(t, "GET", ts.URL+"/jobs/"+id, nil, &v)
+		if code != http.StatusOK {
+			t.Fatalf("get job: %d %s", code, body)
+		}
+		if v.State.Terminal() {
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobView{}
+}
+
+// TestEndToEndFlow covers the whole lifecycle: register → submit → poll
+// → result, then a repeat submission served from the artifact cache.
+func TestEndToEndFlow(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	ds := registerDB2(t, ts)
+	if ds.Summary == nil || ds.Summary.Tuples == 0 {
+		t.Fatal("dataset summary should be resident after registration")
+	}
+
+	// Re-registering identical content is idempotent (200, same id).
+	var again Dataset
+	code, _ := doJSON(t, "POST", ts.URL+"/datasets?name=db2", db2CSV(t), &again)
+	if code != http.StatusOK || again.ID != ds.ID {
+		t.Fatalf("re-register: code %d id %s, want 200 id %s", code, again.ID, ds.ID)
+	}
+
+	submit := func() (JobView, int) {
+		var v JobView
+		code, body := doJSON(t, "POST", ts.URL+"/jobs",
+			submitRequest{Dataset: ds.ID, Task: "rank-fds"}, &v)
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("submit: %d %s", code, body)
+		}
+		return v, code
+	}
+
+	first, code := submit()
+	if code != http.StatusAccepted || first.CacheHit {
+		t.Fatalf("first submission should be 202 and uncached, got %d hit=%t", code, first.CacheHit)
+	}
+	done := waitJob(t, ts, first.ID)
+	if done.State != StateDone {
+		t.Fatalf("job state %s (%s), want done", done.State, done.Error)
+	}
+
+	var res struct {
+		Job    JobView            `json:"job"`
+		Result task.RankFDsResult `json:"result"`
+	}
+	code, body := doJSON(t, "GET", ts.URL+"/jobs/"+first.ID+"/result", nil, &res)
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %s", code, body)
+	}
+	if len(res.Result.Ranked) == 0 {
+		t.Fatal("rank-fds over DB2 sample should rank dependencies")
+	}
+
+	// Identical repeated query: answered from the cache, no re-mining.
+	second, code := submit()
+	if code != http.StatusOK || !second.CacheHit || second.State != StateDone {
+		t.Fatalf("repeat should be an instant cache hit, got code %d %+v", code, second)
+	}
+	if hits := s.CacheStats().Hits; hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+
+	// Different parameters miss the cache.
+	var third JobView
+	code, _ = doJSON(t, "POST", ts.URL+"/jobs",
+		submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: 0.9}}, &third)
+	if code != http.StatusAccepted || third.CacheHit {
+		t.Fatalf("changed psi should miss the cache: %d %+v", code, third)
+	}
+	waitJob(t, ts, third.ID)
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	ds := registerDB2(t, ts)
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		want   int
+	}{
+		{"dataset 404", "GET", "/datasets/nope", nil, http.StatusNotFound},
+		{"job 404", "GET", "/jobs/nope", nil, http.StatusNotFound},
+		{"result 404", "GET", "/jobs/nope/result", nil, http.StatusNotFound},
+		{"cancel 404", "POST", "/jobs/nope/cancel", nil, http.StatusNotFound},
+		{"bad register", "POST", "/datasets", map[string]string{}, http.StatusBadRequest},
+		{"bad submit", "POST", "/jobs", map[string]string{}, http.StatusBadRequest},
+		{"unknown task", "POST", "/jobs", submitRequest{Dataset: ds.ID, Task: "frobnicate"}, http.StatusBadRequest},
+		{"joins rejected", "POST", "/jobs", submitRequest{Dataset: ds.ID, Task: "joins"}, http.StatusBadRequest},
+		{"unknown dataset", "POST", "/jobs", submitRequest{Dataset: "nope", Task: "describe"}, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		code, body := doJSON(t, c.method, ts.URL+c.path, c.body, nil)
+		if code != c.want {
+			t.Errorf("%s: %d %s, want %d", c.name, code, body, c.want)
+		}
+	}
+
+	// Malformed CSV upload is a line-numbered 400.
+	code, body := doJSON(t, "POST", ts.URL+"/datasets", []byte("A,B,A\n1,2,3\n"), nil)
+	if code != http.StatusBadRequest || !strings.Contains(body, "duplicate attribute") {
+		t.Errorf("duplicate-header upload: %d %s", code, body)
+	}
+
+	// Result of a still-unfinished job is 409 (submit against a fresh
+	// dataset so the artifact cache cannot satisfy it instantly).
+	var v JobView
+	doJSON(t, "POST", ts.URL+"/jobs", submitRequest{Dataset: ds.ID, Task: "report"}, &v)
+	code, _ = doJSON(t, "GET", ts.URL+"/jobs/"+v.ID+"/result", nil, nil)
+	if code != http.StatusOK && code != http.StatusConflict {
+		t.Errorf("unfinished result: %d", code)
+	}
+}
+
+// TestConcurrentClients hammers one server with parallel submissions of
+// a mixed workload from many clients; run under -race this exercises
+// registry, runner and cache synchronization.
+func TestConcurrentClients(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 256})
+	ds := registerDB2(t, ts)
+
+	tasks := []string{"describe", "dedup", "mine-fds", "values", "describe", "dedup"}
+	const clients = 12
+	var wg sync.WaitGroup
+	ids := make([]string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var v JobView
+			code, body := doJSON(t, "POST", ts.URL+"/jobs",
+				submitRequest{Dataset: ds.ID, Task: tasks[i%len(tasks)]}, &v)
+			if code != http.StatusAccepted && code != http.StatusOK {
+				t.Errorf("client %d: %d %s", i, code, body)
+				return
+			}
+			ids[i] = v.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		if id == "" {
+			continue
+		}
+		v := waitJob(t, ts, id)
+		if v.State != StateDone {
+			t.Errorf("job %s: %s (%s)", id, v.State, v.Error)
+		}
+	}
+	stats := s.CacheStats()
+	if stats.Hits == 0 {
+		t.Error("duplicate submissions should produce cache hits")
+	}
+	if stats.Entries == 0 {
+		t.Error("completed jobs should populate the cache")
+	}
+}
+
+// TestGracefulShutdownDrain submits jobs, starts a drain, and checks
+// that accepted jobs complete while new submissions are rejected.
+func TestGracefulShutdownDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	ds := registerDB2(t, ts)
+
+	var accepted []JobView
+	for _, name := range []string{"rank-fds", "report", "dedup"} {
+		var v JobView
+		code, body := doJSON(t, "POST", ts.URL+"/jobs", submitRequest{Dataset: ds.ID, Task: name}, &v)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %s: %d %s", name, code, body)
+		}
+		accepted = append(accepted, v)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Every accepted job reached a successful terminal state.
+	for _, v := range accepted {
+		got, ok := s.jobs.Get(v.ID)
+		if !ok || got.State != StateDone {
+			t.Errorf("job %s after drain: %+v", v.ID, got)
+		}
+	}
+
+	// New work is rejected while the HTTP surface stays up.
+	code, _ := doJSON(t, "POST", ts.URL+"/jobs", submitRequest{Dataset: ds.ID, Task: "describe"}, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit: %d, want 503", code)
+	}
+	code, _ = doJSON(t, "POST", ts.URL+"/datasets?name=x", []byte("A,B\n1,2\n"), nil)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain register: %d, want 503", code)
+	}
+	var h healthz
+	code, _ = doJSON(t, "GET", ts.URL+"/healthz", nil, &h)
+	if code != http.StatusOK || !h.Draining {
+		t.Errorf("healthz during drain: %d draining=%t", code, h.Draining)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	// A single worker with a backlog of distinct-psi rank-fds jobs keeps
+	// the tail of the queue waiting long enough to cancel it.
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 16})
+	ds := registerDB2(t, ts)
+
+	var jobs []JobView
+	for i := 0; i < 6; i++ {
+		var v JobView
+		code, body := doJSON(t, "POST", ts.URL+"/jobs",
+			submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: 0.2 + float64(i)/50}}, &v)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, code, body)
+		}
+		jobs = append(jobs, v)
+	}
+	last := jobs[len(jobs)-1]
+	var canceled JobView
+	code, body := doJSON(t, "POST", ts.URL+"/jobs/"+last.ID+"/cancel", nil, &canceled)
+	if code != http.StatusOK {
+		t.Fatalf("cancel: %d %s", code, body)
+	}
+	if canceled.State != StateCanceled {
+		t.Skipf("worker drained the whole queue before the cancel arrived (state %s)", canceled.State)
+	}
+	if v := waitJob(t, ts, last.ID); v.State != StateCanceled {
+		t.Errorf("canceled job state = %s, want canceled", v.State)
+	}
+	if v := waitJob(t, ts, jobs[0].ID); v.State != StateDone {
+		t.Errorf("first job should still complete, got %s (%s)", v.State, v.Error)
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, JobTimeout: time.Nanosecond})
+	ds := registerDB2(t, ts)
+	var v JobView
+	code, body := doJSON(t, "POST", ts.URL+"/jobs", submitRequest{Dataset: ds.ID, Task: "rank-fds"}, &v)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	got := waitJob(t, ts, v.ID)
+	if got.State != StateFailed || !strings.Contains(got.Error, "timeout") {
+		t.Errorf("timed-out job: %+v", got)
+	}
+}
+
+func TestUploadLimits(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:        1,
+		Limits:         relation.Limits{MaxRows: 3, MaxFields: 4},
+		MaxUploadBytes: 128,
+	})
+	code, body := doJSON(t, "POST", ts.URL+"/datasets?name=rows", []byte("A,B\n1,2\n3,4\n5,6\n7,8\n"), nil)
+	if code != http.StatusBadRequest || !strings.Contains(body, "row limit") {
+		t.Errorf("row limit: %d %s", code, body)
+	}
+	code, body = doJSON(t, "POST", ts.URL+"/datasets?name=wide", []byte("A,B,C,D,E\n1,2,3,4,5\n"), nil)
+	if code != http.StatusBadRequest || !strings.Contains(body, "limit is 4") {
+		t.Errorf("field limit: %d %s", code, body)
+	}
+	big := []byte("A,B\n" + strings.Repeat("x,y\n", 200))
+	code, _ = doJSON(t, "POST", ts.URL+"/datasets?name=big", big, nil)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized upload: %d, want 413", code)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	db, err := datagen.NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Joined.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, _, err := s.Registry().RegisterCSV("db2", "test", buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate: one running, one queued, then overflow. Distinct psi
+	// values dodge the artifact cache.
+	sawFull := false
+	for i := 0; i < 8 && !sawFull; i++ {
+		_, err := s.jobs.Submit(ds.ID, "rank-fds", task.Params{Psi: 0.1 + float64(i)/100})
+		if err != nil {
+			if !strings.Contains(err.Error(), "queue is full") {
+				t.Fatalf("unexpected submit error: %v", err)
+			}
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Skip("queue never filled (fast machine); covered elsewhere")
+	}
+}
+
+func TestHealthzAndTasks(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	var h healthz
+	code, _ := doJSON(t, "GET", ts.URL+"/healthz", nil, &h)
+	if code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", code, h)
+	}
+	var infos []struct {
+		Name     string `json:"name"`
+		Runnable bool   `json:"runnable"`
+	}
+	code, _ = doJSON(t, "GET", ts.URL+"/tasks", nil, &infos)
+	if code != http.StatusOK {
+		t.Fatalf("tasks: %d", code)
+	}
+	if len(infos) != len(task.Specs) {
+		t.Fatalf("tasks lists %d entries, want %d", len(infos), len(task.Specs))
+	}
+	for _, info := range infos {
+		if info.Name == "joins" && info.Runnable {
+			t.Error("joins must not be runnable as a job")
+		}
+	}
+}
+
+func TestRegisterByPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	dir := t.TempDir()
+	path := dir + "/sample.csv"
+	if err := writeFile(path, "A,B\n1,2\n3,4\n"); err != nil {
+		t.Fatal(err)
+	}
+	var ds Dataset
+	code, body := doJSON(t, "POST", ts.URL+"/datasets",
+		registerRequest{Path: path}, &ds)
+	if code != http.StatusCreated {
+		t.Fatalf("register by path: %d %s", code, body)
+	}
+	if ds.Name != "sample.csv" || ds.Summary.Tuples != 2 {
+		t.Errorf("dataset: %+v", ds)
+	}
+	code, _ = doJSON(t, "POST", ts.URL+"/datasets", registerRequest{Path: dir + "/missing.csv"}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("missing path: %d, want 400", code)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

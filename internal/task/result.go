@@ -1,0 +1,565 @@
+package task
+
+import (
+	"context"
+	"fmt"
+
+	"structmine/internal/attrs"
+	"structmine/internal/decompose"
+	"structmine/internal/fd"
+	"structmine/internal/fdrank"
+	"structmine/internal/it"
+	"structmine/internal/joins"
+	"structmine/internal/limbo"
+	"structmine/internal/measures"
+	"structmine/internal/relation"
+	"structmine/internal/report"
+	"structmine/internal/tuples"
+	"structmine/internal/values"
+)
+
+// Paper defaults shared with the structmine facade: DCF-tree branching
+// factor and the Phase 1 summary bound for horizontal partitioning.
+const (
+	defaultB         = 4
+	defaultMaxLeaves = 100
+)
+
+// AttrProfile is one attribute's row in describe/report results.
+type AttrProfile struct {
+	Name         string  `json:"name"`
+	Distinct     int     `json:"distinct"`
+	NullFraction float64 `json:"null_fraction"`
+	EntropyBits  float64 `json:"entropy_bits"`
+	RAD          float64 `json:"rad,omitempty"`
+	RTR          float64 `json:"rtr,omitempty"`
+}
+
+// DescribeResult summarizes one relation instance.
+type DescribeResult struct {
+	Relation       string        `json:"relation"`
+	Tuples         int           `json:"tuples"`
+	Attributes     int           `json:"attributes"`
+	DistinctValues int           `json:"distinct_values"`
+	TupleInfoBits  float64       `json:"tuple_info_bits"`
+	Attrs          []AttrProfile `json:"attrs"`
+}
+
+// Describe builds the instance summary without running any miner. It is
+// also what the server keeps resident per registered dataset.
+func Describe(r *relation.Relation) *DescribeResult {
+	res := &DescribeResult{
+		Relation:       r.Name,
+		Tuples:         r.N(),
+		Attributes:     r.M(),
+		DistinctValues: r.D(),
+	}
+	if r.N() > 0 && r.M() > 0 {
+		res.TupleInfoBits = limbo.MutualInfo(tuples.Objects(r))
+	}
+	for a := 0; a < r.M(); a++ {
+		res.Attrs = append(res.Attrs, AttrProfile{
+			Name:         r.Attrs[a],
+			Distinct:     r.DomainSize(a),
+			NullFraction: r.NullFraction(a),
+			EntropyBits:  it.EntropyCounts(r.ProjectionCounts([]int{a})),
+		})
+	}
+	return res
+}
+
+func runDescribe(ctx context.Context, r *relation.Relation) (*DescribeResult, error) {
+	if err := step(ctx, "describe"); err != nil {
+		return nil, err
+	}
+	return Describe(r), nil
+}
+
+// DupPair is a scored candidate duplicate pair.
+type DupPair struct {
+	T1         int     `json:"t1"`
+	T2         int     `json:"t2"`
+	Agree      int     `json:"agree"`
+	Similarity float64 `json:"similarity"`
+}
+
+// DedupResult is the outcome of duplicate-tuple detection.
+type DedupResult struct {
+	PhiT      float64 `json:"phit"`
+	Threshold float64 `json:"threshold"`
+	LeafCount int     `json:"leaf_count"`
+	// Groups lists the multi-tuple candidate groups (tuple indices).
+	Groups [][]int `json:"groups"`
+	// Pairs ranks in-group pairs by string similarity ≥ MinSim.
+	MinSim float64   `json:"min_sim"`
+	Pairs  []DupPair `json:"pairs,omitempty"`
+}
+
+func runDedup(ctx context.Context, r *relation.Relation, p Params) (*DedupResult, error) {
+	if err := step(ctx, "tuple clustering"); err != nil {
+		return nil, err
+	}
+	rep := tuples.FindDuplicates(r, p.PhiT, defaultB)
+	res := &DedupResult{
+		PhiT: p.PhiT, Threshold: rep.Threshold, LeafCount: rep.LeafCount,
+		MinSim: p.MinSim, Groups: [][]int{},
+	}
+	for _, g := range rep.Groups {
+		if len(g) >= 2 {
+			res.Groups = append(res.Groups, g)
+		}
+	}
+	if err := step(ctx, "pair refinement"); err != nil {
+		return nil, err
+	}
+	for _, ps := range tuples.RefineDuplicates(r, rep, p.MinSim) {
+		res.Pairs = append(res.Pairs, DupPair{T1: ps.T1, T2: ps.T2, Agree: ps.Agree, Similarity: ps.Similarity})
+	}
+	return res, nil
+}
+
+// PartitionGroup is one horizontal partition.
+type PartitionGroup struct {
+	Size int `json:"size"`
+	// Tuples lists the member tuple indices.
+	Tuples []int `json:"tuples"`
+	// Sample renders the first member for human inspection.
+	Sample []string `json:"sample,omitempty"`
+}
+
+// PartitionResult is the outcome of horizontal partitioning.
+type PartitionResult struct {
+	K            int              `json:"k"`
+	InfoLossFrac float64          `json:"info_loss_frac"`
+	Partitions   []PartitionGroup `json:"partitions"`
+}
+
+func runPartition(ctx context.Context, r *relation.Relation, p Params) (*PartitionResult, error) {
+	if err := step(ctx, "partitioning"); err != nil {
+		return nil, err
+	}
+	pr := tuples.Partition(r, defaultMaxLeaves, defaultB, p.K)
+	res := &PartitionResult{K: pr.K, InfoLossFrac: pr.InfoLossFrac}
+	for _, cluster := range pr.Clusters {
+		g := PartitionGroup{Size: len(cluster), Tuples: cluster}
+		if len(cluster) > 0 {
+			g.Sample = r.TupleStrings(cluster[0])
+		}
+		res.Partitions = append(res.Partitions, g)
+	}
+	return res, nil
+}
+
+// ValueGroup is one cluster of co-occurring attribute values.
+type ValueGroup struct {
+	// Tuples is how many tuples (or tuple clusters) the group spans.
+	Tuples    int  `json:"tuples"`
+	Duplicate bool `json:"duplicate"`
+	// Values are the attribute-qualified labels ("Attr=value").
+	Values []string `json:"values"`
+}
+
+// ValuesResult is the outcome of attribute-value clustering.
+type ValuesResult struct {
+	PhiV               float64      `json:"phiv"`
+	Threshold          float64      `json:"threshold"`
+	NumGroups          int          `json:"num_groups"`
+	NumDuplicateGroups int          `json:"num_duplicate_groups"`
+	DuplicateGroups    []ValueGroup `json:"duplicate_groups"`
+}
+
+func newValuesResult(r *relation.Relation, phiV float64, vc *values.Clustering) *ValuesResult {
+	res := &ValuesResult{
+		PhiV: phiV, Threshold: vc.Threshold,
+		NumGroups: len(vc.Groups), DuplicateGroups: []ValueGroup{},
+	}
+	for _, gi := range vc.DuplicateGroups() {
+		g := vc.Groups[gi]
+		res.NumDuplicateGroups++
+		vg := ValueGroup{Tuples: int(g.DCF.N), Duplicate: true}
+		for _, v := range g.Values {
+			vg.Values = append(vg.Values, r.ValueLabel(v))
+		}
+		res.DuplicateGroups = append(res.DuplicateGroups, vg)
+	}
+	return res
+}
+
+func runValues(ctx context.Context, r *relation.Relation, p Params) (*ValuesResult, error) {
+	if err := step(ctx, "value clustering"); err != nil {
+		return nil, err
+	}
+	vc := values.ClusterRelation(r, p.PhiV, defaultB)
+	return newValuesResult(r, p.PhiV, vc), nil
+}
+
+// MergeStep is one agglomerative merge of the attribute dendrogram.
+type MergeStep struct {
+	Left  int     `json:"left"`
+	Right int     `json:"right"`
+	Node  int     `json:"node"`
+	Loss  float64 `json:"loss"`
+	K     int     `json:"k"`
+}
+
+// GroupAttrsResult is the outcome of attribute grouping.
+type GroupAttrsResult struct {
+	// Attrs are the A^D attribute names (the clustering's objects).
+	Attrs              []string    `json:"attrs"`
+	NumDuplicateGroups int         `json:"num_duplicate_groups"`
+	Merges             []MergeStep `json:"merges"`
+	// Dendrogram is the ASCII rendering of the merge sequence.
+	Dendrogram string `json:"dendrogram"`
+}
+
+func clusterValuesFor(ctx context.Context, r *relation.Relation, p Params) (*values.Clustering, error) {
+	if !p.Double {
+		return values.ClusterRelation(r, p.PhiV, defaultB), nil
+	}
+	assign, k := tuples.Compress(r, p.PhiT, defaultB)
+	if err := step(ctx, "value clustering over tuple clusters"); err != nil {
+		return nil, err
+	}
+	objs := values.ObjectsOverClusters(r, assign, k)
+	return values.Cluster(objs, p.PhiV, defaultB, r.M()), nil
+}
+
+func newGroupAttrsResult(r *relation.Relation, g *attrs.Grouping, vc *values.Clustering) *GroupAttrsResult {
+	res := &GroupAttrsResult{
+		NumDuplicateGroups: len(vc.DuplicateGroups()),
+		Dendrogram:         g.Dendrogram().ASCII(78),
+		Merges:             []MergeStep{},
+	}
+	for _, ix := range g.AttrIdx {
+		res.Attrs = append(res.Attrs, r.Attrs[ix])
+	}
+	for _, m := range g.Res.Merges {
+		res.Merges = append(res.Merges, MergeStep{Left: m.Left, Right: m.Right, Node: m.Node, Loss: m.Loss, K: m.K})
+	}
+	return res
+}
+
+func runGroupAttrs(ctx context.Context, r *relation.Relation, p Params) (*GroupAttrsResult, error) {
+	if err := step(ctx, "value clustering"); err != nil {
+		return nil, err
+	}
+	vc, err := clusterValuesFor(ctx, r, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := step(ctx, "attribute grouping"); err != nil {
+		return nil, err
+	}
+	return newGroupAttrsResult(r, attrs.Group(r, vc), vc), nil
+}
+
+// FDItem is a functional dependency with named attributes.
+type FDItem struct {
+	LHS   []string `json:"lhs"`
+	RHS   []string `json:"rhs"`
+	Label string   `json:"label"`
+}
+
+func newFDItem(r *relation.Relation, f fd.FD) FDItem {
+	item := FDItem{Label: f.Format(r.Attrs), LHS: []string{}, RHS: []string{}}
+	for _, a := range f.LHS.Attrs() {
+		item.LHS = append(item.LHS, r.Attrs[a])
+	}
+	for _, a := range f.RHS.Attrs() {
+		item.RHS = append(item.RHS, r.Attrs[a])
+	}
+	return item
+}
+
+// FDsResult is the outcome of exact dependency mining.
+type FDsResult struct {
+	NumMinimal int      `json:"num_minimal"`
+	Cover      []FDItem `json:"cover"`
+}
+
+func runMineFDs(ctx context.Context, r *relation.Relation) (*FDsResult, error) {
+	if err := step(ctx, "dependency mining"); err != nil {
+		return nil, err
+	}
+	fds, err := fd.Discover(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := step(ctx, "minimum cover"); err != nil {
+		return nil, err
+	}
+	res := &FDsResult{NumMinimal: len(fds), Cover: []FDItem{}}
+	for _, f := range fd.MinCover(fds) {
+		res.Cover = append(res.Cover, newFDItem(r, f))
+	}
+	return res, nil
+}
+
+// MVDItem is a multivalued dependency with named attributes.
+type MVDItem struct {
+	LHS   []string `json:"lhs"`
+	RHS   []string `json:"rhs"`
+	Label string   `json:"label"`
+}
+
+// MVDsResult is the outcome of MVD mining (FD-implied suppressed).
+type MVDsResult struct {
+	MaxLHS int       `json:"max_lhs"`
+	MVDs   []MVDItem `json:"mvds"`
+}
+
+func runMineMVDs(ctx context.Context, r *relation.Relation, p Params) (*MVDsResult, error) {
+	if err := step(ctx, "MVD mining"); err != nil {
+		return nil, err
+	}
+	mvds, err := fd.MineMVDs(r, p.MaxLHS, true)
+	if err != nil {
+		return nil, err
+	}
+	res := &MVDsResult{MaxLHS: p.MaxLHS, MVDs: []MVDItem{}}
+	for _, v := range mvds {
+		item := MVDItem{Label: v.Format(r.Attrs), LHS: []string{}, RHS: []string{}}
+		for _, a := range v.LHS.Attrs() {
+			item.LHS = append(item.LHS, r.Attrs[a])
+		}
+		for _, a := range v.RHS.Attrs() {
+			item.RHS = append(item.RHS, r.Attrs[a])
+		}
+		res.MVDs = append(res.MVDs, item)
+	}
+	return res, nil
+}
+
+// ApproxFDItem is an approximate dependency with its g3 error.
+type ApproxFDItem struct {
+	FD FDItem  `json:"fd"`
+	G3 float64 `json:"g3"`
+}
+
+// ApproxFDsResult is the outcome of approximate dependency mining.
+type ApproxFDsResult struct {
+	Eps    float64        `json:"eps"`
+	MaxLHS int            `json:"max_lhs"`
+	FDs    []ApproxFDItem `json:"fds"`
+}
+
+func runApproxFDs(ctx context.Context, r *relation.Relation, p Params) (*ApproxFDsResult, error) {
+	if err := step(ctx, "approximate dependency mining"); err != nil {
+		return nil, err
+	}
+	fds, err := fd.MineApprox(r, p.Eps, p.MaxLHS)
+	if err != nil {
+		return nil, err
+	}
+	res := &ApproxFDsResult{Eps: p.Eps, MaxLHS: p.MaxLHS, FDs: []ApproxFDItem{}}
+	for _, a := range fds {
+		res.FDs = append(res.FDs, ApproxFDItem{FD: newFDItem(r, a.FD), G3: a.Err})
+	}
+	return res, nil
+}
+
+// RankedFDItem is one FD-RANK output row with its duplication measures.
+type RankedFDItem struct {
+	FD      FDItem  `json:"fd"`
+	Rank    float64 `json:"rank"`
+	Updated bool    `json:"updated"`
+	RAD     float64 `json:"rad"`
+	RTR     float64 `json:"rtr"`
+}
+
+// RankFDsResult is the outcome of the full FD-RANK pipeline.
+type RankFDsResult struct {
+	Psi        float64        `json:"psi"`
+	NumMinimal int            `json:"num_minimal"`
+	CoverSize  int            `json:"cover_size"`
+	Ranked     []RankedFDItem `json:"ranked"`
+}
+
+// largeInstance mirrors the facade's double-clustering switch for the
+// FD-RANK value-clustering step.
+const largeInstance = 5000
+
+func rankPipeline(ctx context.Context, r *relation.Relation, psi float64) (*RankFDsResult, []fdrank.Ranked, error) {
+	fds, err := fd.Discover(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	cover := fd.MinCover(fds)
+	if err := step(ctx, "value clustering"); err != nil {
+		return nil, nil, err
+	}
+	vc, err := clusterValuesFor(ctx, r, Params{Double: r.N() > largeInstance})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := step(ctx, "attribute grouping"); err != nil {
+		return nil, nil, err
+	}
+	g := attrs.Group(r, vc)
+	if err := step(ctx, "ranking"); err != nil {
+		return nil, nil, err
+	}
+	ranked := fdrank.Rank(cover, g, psi)
+	res := &RankFDsResult{Psi: psi, NumMinimal: len(fds), CoverSize: len(cover), Ranked: []RankedFDItem{}}
+	for _, rf := range ranked {
+		ix := rf.FD.Attrs().Attrs()
+		res.Ranked = append(res.Ranked, RankedFDItem{
+			FD: newFDItem(r, rf.FD), Rank: rf.Rank, Updated: rf.Updated,
+			RAD: measures.RAD(r, ix), RTR: measures.RTR(r, ix),
+		})
+	}
+	return res, ranked, nil
+}
+
+func runRankFDs(ctx context.Context, r *relation.Relation, p Params) (*RankFDsResult, error) {
+	if err := step(ctx, "dependency mining"); err != nil {
+		return nil, err
+	}
+	res, _, err := rankPipeline(ctx, r, p.Psi)
+	return res, err
+}
+
+// RelationSummary is the shape of a decomposition output relation.
+type RelationSummary struct {
+	Name   string   `json:"name"`
+	Attrs  []string `json:"attrs"`
+	Tuples int      `json:"tuples"`
+}
+
+// DecomposeResult is a lossless vertical decomposition on the
+// top-ranked decomposable dependency.
+type DecomposeResult struct {
+	FD          FDItem          `json:"fd"`
+	Rank        float64         `json:"rank"`
+	S1          RelationSummary `json:"s1"`
+	S2          RelationSummary `json:"s2"`
+	CellsBefore int             `json:"cells_before"`
+	CellsAfter  int             `json:"cells_after"`
+	Reduction   float64         `json:"reduction"`
+	RAD         float64         `json:"rad"`
+	RTR         float64         `json:"rtr"`
+}
+
+func runDecompose(ctx context.Context, r *relation.Relation, p Params) (*DecomposeResult, error) {
+	if err := step(ctx, "dependency mining"); err != nil {
+		return nil, err
+	}
+	_, ranked, err := rankPipeline(ctx, r, p.Psi)
+	if err != nil {
+		return nil, err
+	}
+	if err := step(ctx, "decomposition"); err != nil {
+		return nil, err
+	}
+	for _, rf := range ranked {
+		res, err := decompose.On(r, rf.FD)
+		if err != nil {
+			continue // e.g. the FD covers every attribute
+		}
+		if err := res.Lossless(r, rf.FD); err != nil {
+			continue
+		}
+		return &DecomposeResult{
+			FD: newFDItem(r, rf.FD), Rank: rf.Rank,
+			S1:          RelationSummary{Name: res.S1.Name, Attrs: res.S1.Attrs, Tuples: res.S1.N()},
+			S2:          RelationSummary{Name: res.S2.Name, Attrs: res.S2.Attrs, Tuples: res.S2.N()},
+			CellsBefore: res.CellsBefore, CellsAfter: res.CellsAfter,
+			Reduction: res.Reduction, RAD: res.RAD, RTR: res.RTR,
+		}, nil
+	}
+	return nil, fmt.Errorf("task: no decomposable dependency found")
+}
+
+// ReportRankedFD is one ranked dependency row of the full report.
+type ReportRankedFD struct {
+	Label string  `json:"label"`
+	Rank  float64 `json:"rank"`
+	RAD   float64 `json:"rad"`
+	RADw  float64 `json:"rad_weighted"`
+	RTR   float64 `json:"rtr"`
+	G3    float64 `json:"g3"`
+}
+
+// ReportResult is the full analyst-facing structure report, both as
+// structured data and as the rendered text.
+type ReportResult struct {
+	Relation             string           `json:"relation"`
+	Tuples               int              `json:"tuples"`
+	Attributes           int              `json:"attributes"`
+	DistinctValues       int              `json:"distinct_values"`
+	TupleInfoBits        float64          `json:"tuple_info_bits"`
+	Attrs                []AttrProfile    `json:"attrs"`
+	DuplicateTupleGroups [][]int          `json:"duplicate_tuple_groups"`
+	DuplicateValueGroups [][]string       `json:"duplicate_value_groups"`
+	CandidateKeys        []string         `json:"candidate_keys"`
+	Dendrogram           string           `json:"dendrogram,omitempty"`
+	RankedFDs            []ReportRankedFD `json:"ranked_fds"`
+	Text                 string           `json:"text"`
+}
+
+func runReport(ctx context.Context, r *relation.Relation, p Params) (*ReportResult, error) {
+	if err := step(ctx, "report generation"); err != nil {
+		return nil, err
+	}
+	opts := report.Options{PhiT: p.PhiT, PhiV: p.PhiV, Psi: p.Psi}
+	rep, err := report.Generate(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReportResult{
+		Relation: rep.Relation, Tuples: rep.N, Attributes: rep.M, DistinctValues: rep.D,
+		TupleInfoBits:        rep.TupleInfo,
+		DuplicateTupleGroups: rep.DuplicateTupleGroups,
+		DuplicateValueGroups: rep.DuplicateValueGroups,
+		CandidateKeys:        rep.CandidateKeys,
+		Text:                 rep.Render(opts),
+	}
+	for _, a := range rep.Attrs {
+		res.Attrs = append(res.Attrs, AttrProfile{
+			Name: a.Name, Distinct: a.Distinct, NullFraction: a.NullFraction,
+			EntropyBits: a.Entropy, RAD: a.RAD, RTR: a.RTR,
+		})
+	}
+	if rep.Grouping != nil && len(rep.Grouping.AttrIdx) > 0 {
+		res.Dendrogram = rep.Grouping.Dendrogram().ASCII(78)
+	}
+	for _, rf := range rep.RankedFDs {
+		res.RankedFDs = append(res.RankedFDs, ReportRankedFD{
+			Label: rf.Label, Rank: rf.Rank, RAD: rf.RAD, RADw: rf.RADw, RTR: rf.RTR, G3: rf.ApproxG3,
+		})
+	}
+	return res, nil
+}
+
+// JoinCandidate is one joinable attribute pair across relations.
+type JoinCandidate struct {
+	FromRelation string  `json:"from_relation"`
+	FromAttr     string  `json:"from_attr"`
+	ToRelation   string  `json:"to_relation"`
+	ToAttr       string  `json:"to_attr"`
+	Containment  float64 `json:"containment"`
+	Jaccard      float64 `json:"jaccard"`
+	FromDistinct int     `json:"from_distinct"`
+	ToDistinct   int     `json:"to_distinct"`
+}
+
+// JoinsResult is the outcome of cross-relation join discovery — the one
+// multi-relation task, exposed for the CLI's -json mode.
+type JoinsResult struct {
+	MinContainment float64         `json:"min_containment"`
+	Candidates     []JoinCandidate `json:"candidates"`
+}
+
+// Joins discovers join paths across several relations.
+func Joins(rels []*relation.Relation, minContainment float64, minDistinct int) *JoinsResult {
+	res := &JoinsResult{MinContainment: minContainment, Candidates: []JoinCandidate{}}
+	for _, c := range joins.FindJoinable(rels, minContainment, minDistinct) {
+		res.Candidates = append(res.Candidates, JoinCandidate{
+			FromRelation: c.FromRelation, FromAttr: c.FromAttr,
+			ToRelation: c.ToRelation, ToAttr: c.ToAttr,
+			Containment: c.Containment, Jaccard: c.Jaccard,
+			FromDistinct: c.FromDistinct, ToDistinct: c.ToDistinct,
+		})
+	}
+	return res
+}

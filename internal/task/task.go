@@ -1,0 +1,220 @@
+// Package task defines the shared task contract between the structmine
+// CLI and the structmined server: the catalogue of structure-mining
+// tasks, their JSON-serializable parameters and result types, and a
+// context-aware runner.
+//
+// The CLI's text mode renders these same results; its -json mode and the
+// server's job results are encodings of the structs in result.go, so the
+// two front ends cannot drift apart. Parameters are normalized per task
+// (irrelevant knobs zeroed, defaults filled in) before execution, which
+// also makes them usable as a canonical artifact-cache key.
+package task
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"structmine/internal/relation"
+)
+
+// Spec describes one task for usage strings, documentation, and the
+// server's task validation. Keep this table the single source of truth:
+// the CLI usage text and the cmd/structmine doc comment are checked
+// against it by tests.
+type Spec struct {
+	Name     string
+	Synopsis string // one-line description
+	Flags    string // the CLI flags the task consumes, e.g. "-phit -minsim"
+	// MultiFile marks tasks that operate on several CSV files at once
+	// (joins); these are CLI-only and cannot run as server jobs.
+	MultiFile bool
+}
+
+// Specs lists every task, in presentation order.
+var Specs = []Spec{
+	{Name: "describe", Synopsis: "print instance statistics and per-attribute profiles"},
+	{Name: "report", Synopsis: "full structure report (profiles, duplicates, ranked FDs)", Flags: "-phit -phiv -psi"},
+	{Name: "dedup", Synopsis: "find duplicate / near-duplicate tuples", Flags: "-phit -minsim"},
+	{Name: "partition", Synopsis: "horizontal partitioning (0 = automatic k)", Flags: "-k"},
+	{Name: "values", Synopsis: "cluster co-occurring attribute values", Flags: "-phiv"},
+	{Name: "group-attrs", Synopsis: "attribute grouping dendrogram", Flags: "-phiv -double"},
+	{Name: "mine-fds", Synopsis: "discover minimal FDs (+ minimum cover)"},
+	{Name: "mine-mvds", Synopsis: "discover multivalued dependencies (X ->-> Y)", Flags: "-maxlhs"},
+	{Name: "approx-fds", Synopsis: "discover approximate FDs under a g3 bound", Flags: "-eps"},
+	{Name: "rank-fds", Synopsis: "FD-RANK pipeline with RAD/RTR per dependency", Flags: "-psi"},
+	{Name: "decompose", Synopsis: "apply the top-ranked FD as a lossless vertical split", Flags: "-psi"},
+	{Name: "joins", Synopsis: "discover join paths across several CSVs", Flags: "-mincont", MultiFile: true},
+}
+
+// Lookup returns the spec of the named task.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range Specs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names returns every task name in presentation order.
+func Names() []string {
+	out := make([]string, len(Specs))
+	for i, s := range Specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Usage renders the one-screen task table used by the CLI usage string.
+func Usage() string {
+	var b strings.Builder
+	for _, s := range Specs {
+		syn := s.Synopsis
+		if s.Flags != "" {
+			syn += " (" + s.Flags + ")"
+		}
+		fmt.Fprintf(&b, "\t%-12s %s\n", s.Name, syn)
+	}
+	return b.String()
+}
+
+// Params are the knobs a task run may consume, with JSON names matching
+// the server's job-submission payload. Zero values select the paper's
+// defaults.
+type Params struct {
+	// PhiT is the tuple-clustering accuracy knob φT.
+	PhiT float64 `json:"phit,omitempty"`
+	// PhiV is the value-clustering accuracy knob φV.
+	PhiV float64 `json:"phiv,omitempty"`
+	// Psi is the FD-RANK threshold ψ (default 0.5).
+	Psi float64 `json:"psi,omitempty"`
+	// K is the partition count for the partition task (0 = automatic).
+	K int `json:"k,omitempty"`
+	// Eps is the g3 bound for approx-fds (default 0.05).
+	Eps float64 `json:"eps,omitempty"`
+	// MaxLHS bounds antecedent size for approx-fds / mine-mvds.
+	MaxLHS int `json:"max_lhs,omitempty"`
+	// MinSim is the minimum string similarity for dedup pairs (default 0.5).
+	MinSim float64 `json:"min_sim,omitempty"`
+	// Double selects double clustering for group-attrs.
+	Double bool `json:"double,omitempty"`
+	// MinContainment is the joins threshold (CLI-only task).
+	MinContainment float64 `json:"min_containment,omitempty"`
+}
+
+// Normalize returns the parameters a task actually consumes, with
+// defaults filled in and irrelevant knobs zeroed. Two submissions that
+// differ only in knobs the task never reads normalize identically — the
+// artifact cache treats them as the same query.
+func (p Params) Normalize(taskName string) Params {
+	q := Params{}
+	switch taskName {
+	case "describe", "mine-fds":
+		// No knobs.
+	case "report":
+		q.PhiT, q.PhiV, q.Psi = p.PhiT, p.PhiV, p.Psi
+		if q.PhiT == 0 {
+			q.PhiT = 0.3
+		}
+		if q.Psi == 0 {
+			q.Psi = 0.5
+		}
+	case "dedup":
+		q.PhiT, q.MinSim = p.PhiT, p.MinSim
+		if q.MinSim == 0 {
+			q.MinSim = 0.5
+		}
+	case "partition":
+		q.K = p.K
+	case "values":
+		q.PhiV = p.PhiV
+	case "group-attrs":
+		q.PhiV, q.Double = p.PhiV, p.Double
+		if q.Double {
+			q.PhiT = p.PhiT
+		}
+	case "mine-mvds":
+		q.MaxLHS = p.MaxLHS
+	case "approx-fds":
+		q.Eps, q.MaxLHS = p.Eps, p.MaxLHS
+		if q.Eps == 0 {
+			q.Eps = 0.05
+		}
+		if q.MaxLHS == 0 {
+			q.MaxLHS = 3
+		}
+	case "rank-fds", "decompose":
+		q.Psi = p.Psi
+		if q.Psi == 0 {
+			q.Psi = 0.5
+		}
+	case "joins":
+		q.MinContainment = p.MinContainment
+		if q.MinContainment == 0 {
+			q.MinContainment = 0.9
+		}
+	}
+	return q
+}
+
+// CacheKey renders the canonical cache-key fragment for this task and
+// parameter set: the task name plus the normalized knobs in a fixed
+// order. Combined with a dataset content hash it addresses one artifact.
+func (p Params) CacheKey(taskName string) string {
+	q := p.Normalize(taskName)
+	return fmt.Sprintf("%s|phit=%g|phiv=%g|psi=%g|k=%d|eps=%g|maxlhs=%d|minsim=%g|double=%t|mincont=%g",
+		taskName, q.PhiT, q.PhiV, q.Psi, q.K, q.Eps, q.MaxLHS, q.MinSim, q.Double, q.MinContainment)
+}
+
+// Run executes the named task over the relation and returns its
+// JSON-serializable result struct. The context is checked between
+// pipeline stages, so cancellation or a deadline aborts a multi-stage
+// job at the next stage boundary.
+//
+// The joins task operates on several relations and is not runnable here;
+// use Joins directly.
+func Run(ctx context.Context, r *relation.Relation, taskName string, p Params) (any, error) {
+	spec, ok := Lookup(taskName)
+	if !ok {
+		return nil, fmt.Errorf("task: unknown task %q (have: %s)", taskName, strings.Join(Names(), ", "))
+	}
+	if spec.MultiFile {
+		return nil, fmt.Errorf("task: %q operates on several relations and cannot run over one dataset", taskName)
+	}
+	p = p.Normalize(taskName)
+	switch taskName {
+	case "describe":
+		return runDescribe(ctx, r)
+	case "report":
+		return runReport(ctx, r, p)
+	case "dedup":
+		return runDedup(ctx, r, p)
+	case "partition":
+		return runPartition(ctx, r, p)
+	case "values":
+		return runValues(ctx, r, p)
+	case "group-attrs":
+		return runGroupAttrs(ctx, r, p)
+	case "mine-fds":
+		return runMineFDs(ctx, r)
+	case "mine-mvds":
+		return runMineMVDs(ctx, r, p)
+	case "approx-fds":
+		return runApproxFDs(ctx, r, p)
+	case "rank-fds":
+		return runRankFDs(ctx, r, p)
+	case "decompose":
+		return runDecompose(ctx, r, p)
+	}
+	return nil, fmt.Errorf("task: %q has no runner", taskName)
+}
+
+// step returns the context's error, annotated with the stage it aborted
+// before; called between the expensive stages of multi-step tasks.
+func step(ctx context.Context, stage string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("task: canceled before %s: %w", stage, err)
+	}
+	return nil
+}

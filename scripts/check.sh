@@ -7,3 +7,4 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go test -race ./...
+scripts/smoke.sh

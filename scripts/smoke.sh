@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the structmined service: boot on a random
+# port, register the generated DB2 sample, run a rank-fds job to
+# completion, and assert the identical repeated query is answered from
+# the artifact cache. Finishes with a SIGTERM to check graceful drain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "smoke: building structmined and generating the DB2 sample"
+go build -o "$workdir/structmined" ./cmd/structmined
+go run ./cmd/datagen db2 -out "$workdir" >/dev/null
+
+"$workdir/structmined" -addr 127.0.0.1:0 -workers 2 >"$workdir/log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^structmined listening on //p' "$workdir/log" | head -n1)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "smoke: FAIL — server did not start"; cat "$workdir/log"; exit 1
+fi
+base="http://$addr"
+echo "smoke: server up at $base"
+
+ds=$(curl -sS -X POST --data-binary @"$workdir/db2sample.csv" \
+  -H 'Content-Type: text/csv' "$base/datasets?name=db2sample" | jq -r .id)
+[ -n "$ds" ] && [ "$ds" != null ] || { echo "smoke: FAIL — dataset registration"; exit 1; }
+echo "smoke: registered dataset $ds"
+
+submit() {
+  curl -sS -X POST -H 'Content-Type: application/json' \
+    -d "{\"dataset\":\"$ds\",\"task\":\"rank-fds\"}" "$base/jobs"
+}
+
+job=$(submit)
+id=$(echo "$job" | jq -r .id)
+state=$(echo "$job" | jq -r .state)
+for _ in $(seq 1 600); do
+  case "$state" in done) break ;; failed|canceled)
+    echo "smoke: FAIL — job $id reached state $state"; exit 1 ;; esac
+  sleep 0.1
+  state=$(curl -sS "$base/jobs/$id" | jq -r .state)
+done
+[ "$state" = done ] || { echo "smoke: FAIL — job $id stuck in $state"; exit 1; }
+ranked=$(curl -sS "$base/jobs/$id/result" | jq '.result.ranked | length')
+[ "$ranked" -gt 0 ] || { echo "smoke: FAIL — empty rank-fds result"; exit 1; }
+echo "smoke: job $id done, $ranked ranked dependencies"
+
+second=$(submit)
+hit=$(echo "$second" | jq -r .cache_hit)
+state2=$(echo "$second" | jq -r .state)
+if [ "$hit" != true ] || [ "$state2" != done ]; then
+  echo "smoke: FAIL — repeated query not served from cache (hit=$hit state=$state2)"; exit 1
+fi
+hits=$(curl -sS "$base/healthz" | jq .cache.hits)
+[ "$hits" -ge 1 ] || { echo "smoke: FAIL — healthz reports $hits cache hits"; exit 1; }
+echo "smoke: repeated query served from artifact cache (hits=$hits)"
+
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "smoke: FAIL — server did not drain on SIGTERM"; exit 1
+fi
+pid=""
+echo "smoke: graceful shutdown ok"
+echo "smoke: PASS"

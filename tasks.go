@@ -1,0 +1,71 @@
+package structmine
+
+import (
+	"context"
+
+	"structmine/internal/relation"
+	"structmine/internal/task"
+)
+
+// TaskParams parameterizes one task run; zero values select the paper's
+// defaults (and inherit the Miner's options where they overlap).
+type TaskParams = task.Params
+
+// JSON-serializable task results — the single output contract shared by
+// RunTask, the structmine CLI's -json mode, and the structmined server.
+type (
+	// DescribeResult summarizes one relation instance.
+	DescribeResult = task.DescribeResult
+	// DedupResult is the outcome of duplicate-tuple detection.
+	DedupResult = task.DedupResult
+	// PartitionTaskResult is the outcome of horizontal partitioning.
+	PartitionTaskResult = task.PartitionResult
+	// ValuesResult is the outcome of attribute-value clustering.
+	ValuesResult = task.ValuesResult
+	// GroupAttrsResult is the outcome of attribute grouping.
+	GroupAttrsResult = task.GroupAttrsResult
+	// FDsResult is the outcome of exact dependency mining.
+	FDsResult = task.FDsResult
+	// MVDsResult is the outcome of MVD mining.
+	MVDsResult = task.MVDsResult
+	// ApproxFDsResult is the outcome of approximate dependency mining.
+	ApproxFDsResult = task.ApproxFDsResult
+	// RankFDsResult is the outcome of the FD-RANK pipeline.
+	RankFDsResult = task.RankFDsResult
+	// DecomposeResult is a lossless decomposition on the best ranked FD.
+	DecomposeResult = task.DecomposeResult
+	// ReportResult is the full structure report, data plus rendered text.
+	ReportResult = task.ReportResult
+	// JoinsResult is the outcome of cross-relation join discovery.
+	JoinsResult = task.JoinsResult
+)
+
+// TaskNames lists every runnable task in presentation order.
+func TaskNames() []string { return task.Names() }
+
+// RunTask executes a named structure-mining task and returns its
+// JSON-serializable result struct (one of the *Result types above). The
+// context is honored between pipeline stages, so a deadline or
+// cancellation aborts multi-stage jobs at the next stage boundary.
+// Knobs left zero in p inherit the Miner's options.
+func (m *Miner) RunTask(ctx context.Context, name string, p TaskParams) (any, error) {
+	if p.PhiT == 0 {
+		p.PhiT = m.opts.PhiT
+	}
+	if p.PhiV == 0 {
+		p.PhiV = m.opts.PhiV
+	}
+	if p.Psi == 0 {
+		p.Psi = m.opts.Psi
+	}
+	return task.Run(ctx, m.r, name, p)
+}
+
+// DescribeResult returns the instance summary as a struct (Describe
+// renders the one-line text form).
+func (m *Miner) DescribeResult() *DescribeResult { return task.Describe(m.r) }
+
+// FindJoinableResult is FindJoinable with the shared JSON result shape.
+func FindJoinableResult(rels []*relation.Relation, minContainment float64, minDistinct int) *JoinsResult {
+	return task.Joins(rels, minContainment, minDistinct)
+}
