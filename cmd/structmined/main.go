@@ -9,6 +9,15 @@
 //
 // CSV files given on the command line are pre-registered at startup.
 //
+// The daemon has no authentication, so it listens on loopback by
+// default; pass -addr to expose it deliberately. HTTP clients may only
+// register datasets by server-side path ({"path":...}) when -data-dir
+// names the directory such paths are confined to — otherwise they must
+// upload the CSV body. Resident state is bounded: -max-datasets caps
+// the registry, -max-jobs caps retained job records (oldest finished
+// jobs are forgotten first), and -cache-entries caps the artifact cache
+// (least recently used artifacts are evicted).
+//
 // Endpoints:
 //
 //	POST /datasets            register a dataset (raw CSV body, or JSON {"path":...} / {"name":...,"csv":...})
@@ -54,7 +63,7 @@ func main() {
 // up (used by tests binding port 0).
 func run(args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("structmined", flag.ContinueOnError)
-	addr := fs.String("addr", ":8421", "listen address")
+	addr := fs.String("addr", "127.0.0.1:8421", "listen address (loopback by default; the daemon has no authentication)")
 	workers := fs.Int("workers", 2, "job worker-pool size")
 	queueDepth := fs.Int("queue", 64, "maximum number of queued jobs")
 	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-job wall-clock budget")
@@ -62,6 +71,10 @@ func run(args []string, ready chan<- string) error {
 	maxRows := fs.Int("max-rows", 0, "maximum data rows per registered CSV (0 = unlimited)")
 	maxFields := fs.Int("max-fields", 0, "maximum columns per registered CSV (0 = unlimited)")
 	maxUpload := fs.Int64("max-upload", 64<<20, "maximum dataset upload size in bytes")
+	dataDir := fs.String("data-dir", "", "directory HTTP clients may register datasets from by path (empty = uploads only)")
+	maxDatasets := fs.Int("max-datasets", 64, "maximum resident datasets")
+	maxJobs := fs.Int("max-jobs", 1024, "maximum retained job records (oldest finished jobs are forgotten first)")
+	cacheEntries := fs.Int("cache-entries", 512, "maximum artifact-cache entries (LRU eviction)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +85,10 @@ func run(args []string, ready chan<- string) error {
 		JobTimeout:     *jobTimeout,
 		Limits:         relation.Limits{MaxRows: *maxRows, MaxFields: *maxFields},
 		MaxUploadBytes: *maxUpload,
+		DataDir:        *dataDir,
+		MaxDatasets:    *maxDatasets,
+		MaxJobs:        *maxJobs,
+		CacheEntries:   *cacheEntries,
 	})
 	for _, path := range fs.Args() {
 		ds, _, err := srv.Registry().RegisterPath(path)
@@ -104,14 +121,18 @@ func run(args []string, ready chan<- string) error {
 		fmt.Printf("received %s, draining jobs\n", sig)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-	defer cancel()
 	// Drain the job runner first — new submissions get 503 while the
 	// HTTP surface stays up for status polls — then close the listener.
-	if err := srv.Shutdown(ctx); err != nil {
+	// The listener gets its own fresh budget: even when the drain eats
+	// its whole timeout, in-flight status polls still finish.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "structmined: drain incomplete: %v\n", err)
 	}
-	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	fmt.Println("structmined stopped")

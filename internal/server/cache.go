@@ -1,6 +1,7 @@
 package server
 
 import (
+	"container/list"
 	"sync"
 
 	"structmine/internal/task"
@@ -9,41 +10,65 @@ import (
 // Cache is the content-addressed artifact cache: completed task results
 // keyed on (dataset content hash, task, normalized parameters). Because
 // datasets are immutable once registered and every task is
-// deterministic, entries never need invalidation.
+// deterministic, entries never go stale — but a long-running daemon
+// cannot keep every artifact forever, so the cache evicts
+// least-recently-used entries beyond a configured capacity.
 type Cache struct {
-	mu     sync.RWMutex
-	m      map[string]any
+	mu     sync.Mutex
+	m      map[string]*list.Element
+	lru    *list.List // front = most recently used
+	max    int        // entry cap (0 = unlimited)
 	hits   uint64
 	misses uint64
 }
 
-// NewCache returns an empty artifact cache.
-func NewCache() *Cache { return &Cache{m: map[string]any{}} }
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache returns an empty artifact cache holding at most max entries
+// (0 = unlimited).
+func NewCache(max int) *Cache {
+	return &Cache{m: map[string]*list.Element{}, lru: list.New(), max: max}
+}
 
 // Key builds the canonical artifact address for one query.
 func Key(datasetHash, taskName string, p task.Params) string {
 	return datasetHash + "|" + p.CacheKey(taskName)
 }
 
-// Get returns the cached artifact and counts the lookup as a hit or
-// miss.
+// Get returns the cached artifact, refreshes its recency, and counts
+// the lookup as a hit or miss.
 func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	v, ok := c.m[key]
-	if ok {
-		c.hits++
-	} else {
+	el, ok := c.m[key]
+	if !ok {
 		c.misses++
+		return nil, false
 	}
-	return v, ok
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
 }
 
-// Put stores one completed artifact.
+// Put stores one completed artifact, evicting the least recently used
+// entries if the cache is over capacity.
 func (c *Cache) Put(key string, v any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.m[key] = v
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).val = v
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&cacheEntry{key: key, val: v})
+	for c.max > 0 && c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
 }
 
 // CacheStats is the cache's observable state, served by /healthz and
@@ -56,7 +81,7 @@ type CacheStats struct {
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() CacheStats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return CacheStats{Entries: len(c.m), Hits: c.hits, Misses: c.misses}
 }

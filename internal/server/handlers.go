@@ -79,7 +79,13 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		}
 		switch {
 		case req.Path != "":
-			ds, created, err = s.reg.RegisterPath(req.Path)
+			var resolved string
+			resolved, err = s.resolveDataPath(req.Path)
+			if err != nil {
+				writeErr(w, http.StatusForbidden, "%v", err)
+				return
+			}
+			ds, created, err = s.reg.RegisterPath(resolved)
 		case req.CSV != "":
 			ds, created, err = s.reg.RegisterCSV(req.Name, "upload", []byte(req.CSV))
 		default:
@@ -94,7 +100,11 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		ds, created, err = s.reg.RegisterCSV(r.URL.Query().Get("name"), "upload", body)
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "registering dataset: %v", err)
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrDatasetLimit) {
+			code = http.StatusTooManyRequests
+		}
+		writeErr(w, code, "registering dataset: %v", err)
 		return
 	}
 	code := http.StatusOK
@@ -124,9 +134,18 @@ type submitRequest struct {
 	Params  task.Params `json:"params"`
 }
 
+// maxJobBodyBytes bounds POST /jobs request bodies; submissions are
+// small JSON documents, far below dataset uploads.
+const maxJobBodyBytes = 1 << 20
+
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBodyBytes)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "job submission exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}

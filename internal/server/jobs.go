@@ -79,6 +79,7 @@ type Runner struct {
 	reg     *Registry
 	cache   *Cache
 	timeout time.Duration
+	retain  int // max job records kept; oldest terminal jobs beyond it are dropped
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -95,7 +96,10 @@ type Runner struct {
 
 // NewRunner starts a pool of `workers` goroutines consuming a queue of
 // depth `depth`. Each job gets `timeout` of wall clock (0 = unlimited).
-func NewRunner(reg *Registry, cache *Cache, workers, depth int, timeout time.Duration) *Runner {
+// At most `retain` job records are kept (0 = unlimited): once exceeded,
+// the oldest terminal jobs are forgotten — their artifacts stay in the
+// cache, but polling the job id yields 404.
+func NewRunner(reg *Registry, cache *Cache, workers, depth int, timeout time.Duration, retain int) *Runner {
 	if workers < 1 {
 		workers = 1
 	}
@@ -104,7 +108,7 @@ func NewRunner(reg *Registry, cache *Cache, workers, depth int, timeout time.Dur
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Runner{
-		reg: reg, cache: cache, timeout: timeout,
+		reg: reg, cache: cache, timeout: timeout, retain: retain,
 		baseCtx: ctx, baseCancel: cancel,
 		jobs: map[string]*Job{}, queue: make(chan *Job, depth),
 	}
@@ -153,6 +157,7 @@ func (q *Runner) Submit(datasetID, taskName string, p task.Params) (JobView, err
 		cancel()
 		q.jobs[job.id] = job
 		q.order = append(q.order, job.id)
+		q.pruneLocked()
 		return job.viewLocked(), nil
 	}
 	select {
@@ -163,7 +168,30 @@ func (q *Runner) Submit(datasetID, taskName string, p task.Params) (JobView, err
 	}
 	q.jobs[job.id] = job
 	q.order = append(q.order, job.id)
+	q.pruneLocked()
 	return job.viewLocked(), nil
+}
+
+// pruneLocked drops the oldest terminal job records once the retention
+// cap is exceeded. Queued and running jobs are never dropped, so the
+// record count is bounded by retain + in-flight jobs. The caller holds
+// q.mu.
+func (q *Runner) pruneLocked() {
+	if q.retain <= 0 || len(q.order) <= q.retain {
+		return
+	}
+	excess := len(q.order) - q.retain
+	kept := q.order[:0]
+	for _, id := range q.order {
+		job := q.jobs[id]
+		if excess > 0 && job.state.Terminal() {
+			delete(q.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	q.order = kept
 }
 
 func (q *Runner) worker() {
@@ -207,6 +235,7 @@ func (q *Runner) run(job *Job) {
 		job.errMsg = err.Error()
 	}
 	close(job.done)
+	q.pruneLocked()
 	q.mu.Unlock()
 	job.cancel()
 }

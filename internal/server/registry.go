@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -14,14 +15,20 @@ import (
 	"structmine/internal/task"
 )
 
+// ErrDatasetLimit reports that the registry is at its configured
+// capacity and refuses to make another relation resident.
+var ErrDatasetLimit = errors.New("server: dataset limit reached")
+
 // Dataset is one registered relation instance: the parsed relation and
 // its instance statistics stay resident so repeated jobs never re-parse.
 type Dataset struct {
-	// ID is the content address: a prefix of the SHA-256 of the CSV
-	// bytes. Registering identical content twice yields the same dataset.
+	// ID is the short display address: a prefix of Hash, extended just
+	// far enough to be unambiguous among registered datasets.
 	ID   string `json:"id"`
 	Name string `json:"name"`
-	// Hash is the full content hash; it prefixes every cache key.
+	// Hash is the full SHA-256 of the CSV bytes — the dataset's true
+	// identity. It keys the registry, prefixes every cache key, and is
+	// itself accepted anywhere an id is.
 	Hash string `json:"hash"`
 	// Source records where the data came from ("upload" or a file path).
 	Source  string               `json:"source"`
@@ -33,17 +40,44 @@ type Dataset struct {
 // Relation returns the resident parsed instance.
 func (d *Dataset) Relation() *relation.Relation { return d.rel }
 
-// Registry owns the resident datasets. All methods are safe for
-// concurrent use.
+// Registry owns the resident datasets, keyed on the full content hash.
+// Short ids are aliases: a hash prefix extended on collision, never
+// silently resolving to a different dataset's content. All methods are
+// safe for concurrent use.
 type Registry struct {
-	mu   sync.RWMutex
-	byID map[string]*Dataset
-	lim  relation.Limits
+	mu     sync.RWMutex
+	byHash map[string]*Dataset
+	alias  map[string]string // short id → full hash
+	lim    relation.Limits
+	max    int // resident-dataset cap (0 = unlimited)
 }
 
-// NewRegistry returns an empty registry whose CSV parsing enforces lim.
-func NewRegistry(lim relation.Limits) *Registry {
-	return &Registry{byID: map[string]*Dataset{}, lim: lim}
+// shortIDLen is the initial alias length: 12 hex digits of SHA-256.
+const shortIDLen = 12
+
+// NewRegistry returns an empty registry whose CSV parsing enforces lim
+// and which holds at most max resident datasets (0 = unlimited).
+func NewRegistry(lim relation.Limits, max int) *Registry {
+	return &Registry{
+		byHash: map[string]*Dataset{},
+		alias:  map[string]string{},
+		lim:    lim,
+		max:    max,
+	}
+}
+
+// assignIDLocked picks the shortest prefix of hash (starting at
+// shortIDLen) that does not alias a different dataset's hash. The
+// caller holds g.mu; hash itself is not yet registered, so the loop
+// always terminates — the full hash is unique by construction.
+func (g *Registry) assignIDLocked(hash string) string {
+	for n := shortIDLen; n <= len(hash); n += 4 {
+		id := hash[:n]
+		if prior, ok := g.alias[id]; !ok || prior == hash {
+			return id
+		}
+	}
+	return hash
 }
 
 // RegisterCSV parses CSV bytes and registers the resulting relation. It
@@ -52,33 +86,37 @@ func NewRegistry(lim relation.Limits) *Registry {
 func (g *Registry) RegisterCSV(name, source string, data []byte) (ds *Dataset, created bool, err error) {
 	sum := sha256.Sum256(data)
 	hash := hex.EncodeToString(sum[:])
-	id := hash[:12]
 
 	g.mu.RLock()
-	existing := g.byID[id]
+	existing := g.byHash[hash]
 	g.mu.RUnlock()
 	if existing != nil {
 		return existing, false, nil
 	}
 
 	if name == "" {
-		name = "dataset-" + id
+		name = "dataset-" + hash[:shortIDLen]
 	}
 	rel, err := relation.ReadCSVLimited(name, bytes.NewReader(data), g.lim)
 	if err != nil {
 		return nil, false, err
 	}
-	ds = &Dataset{
-		ID: id, Name: name, Hash: hash, Source: source,
-		Summary: task.Describe(rel), rel: rel,
-	}
+	summary := task.Describe(rel)
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if prior, ok := g.byID[id]; ok { // lost a registration race
+	if prior, ok := g.byHash[hash]; ok { // lost a registration race
 		return prior, false, nil
 	}
-	g.byID[id] = ds
+	if g.max > 0 && len(g.byHash) >= g.max {
+		return nil, false, fmt.Errorf("%w (%d resident)", ErrDatasetLimit, len(g.byHash))
+	}
+	ds = &Dataset{
+		ID: g.assignIDLocked(hash), Name: name, Hash: hash, Source: source,
+		Summary: summary, rel: rel,
+	}
+	g.byHash[hash] = ds
+	g.alias[ds.ID] = hash
 	return ds, true, nil
 }
 
@@ -92,11 +130,14 @@ func (g *Registry) RegisterPath(path string) (*Dataset, bool, error) {
 	return g.RegisterCSV(filepath.Base(path), path, data)
 }
 
-// Get returns the dataset with the given id.
+// Get returns the dataset with the given short id or full content hash.
 func (g *Registry) Get(id string) (*Dataset, bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	ds, ok := g.byID[id]
+	if hash, ok := g.alias[id]; ok {
+		return g.byHash[hash], true
+	}
+	ds, ok := g.byHash[id]
 	return ds, ok
 }
 
@@ -104,8 +145,8 @@ func (g *Registry) Get(id string) (*Dataset, bool) {
 func (g *Registry) List() []*Dataset {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	out := make([]*Dataset, 0, len(g.byID))
-	for _, ds := range g.byID {
+	out := make([]*Dataset, 0, len(g.byHash))
+	for _, ds := range g.byHash {
 		out = append(out, ds)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -116,5 +157,5 @@ func (g *Registry) List() []*Dataset {
 func (g *Registry) Len() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return len(g.byID)
+	return len(g.byHash)
 }

@@ -18,11 +18,20 @@ package server
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"net/http"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"structmine/internal/relation"
 )
+
+// ErrPathRegistrationDisabled reports that {"path":...} registration
+// was attempted on a server started without a data directory.
+var ErrPathRegistrationDisabled = errors.New(
+	"server: path registration is disabled; start with -data-dir or upload the CSV body")
 
 // Config tunes a Server. Zero values select sensible defaults.
 type Config struct {
@@ -39,6 +48,22 @@ type Config struct {
 	// MaxUploadBytes bounds the request body of dataset uploads
 	// (default 64 MiB).
 	MaxUploadBytes int64
+	// DataDir, when non-empty, is the only directory from which HTTP
+	// clients may register datasets by path ({"path":...}); symlinks are
+	// resolved before the containment check. When empty (the default),
+	// path registration over HTTP is rejected — clients must upload the
+	// CSV body. Operator-side registration (command-line arguments) is
+	// not affected.
+	DataDir string
+	// MaxDatasets caps how many parsed relations stay resident
+	// (default 64); registrations beyond it are rejected.
+	MaxDatasets int
+	// MaxJobs caps how many job records are retained (default 1024);
+	// beyond it the oldest terminal jobs are forgotten.
+	MaxJobs int
+	// CacheEntries caps the artifact cache (default 512); beyond it the
+	// least recently used artifacts are evicted.
+	CacheEntries int
 }
 
 func (c Config) normalized() Config {
@@ -53,6 +78,15 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 64 << 20
+	}
+	if c.MaxDatasets <= 0 {
+		c.MaxDatasets = 64
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 512
 	}
 	return c
 }
@@ -72,13 +106,42 @@ func New(cfg Config) *Server {
 	cfg = cfg.normalized()
 	s := &Server{
 		cfg:   cfg,
-		reg:   NewRegistry(cfg.Limits),
-		cache: NewCache(),
+		reg:   NewRegistry(cfg.Limits, cfg.MaxDatasets),
+		cache: NewCache(cfg.CacheEntries),
 		mux:   http.NewServeMux(),
 	}
-	s.jobs = NewRunner(s.reg, s.cache, cfg.Workers, cfg.QueueDepth, cfg.JobTimeout)
+	s.jobs = NewRunner(s.reg, s.cache, cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.MaxJobs)
 	s.routes()
 	return s
+}
+
+// resolveDataPath validates a client-supplied registration path against
+// the configured data directory: relative paths are rooted there, and
+// the symlink-resolved target must not escape it.
+func (s *Server) resolveDataPath(p string) (string, error) {
+	if s.cfg.DataDir == "" {
+		return "", ErrPathRegistrationDisabled
+	}
+	root, err := filepath.Abs(s.cfg.DataDir)
+	if err != nil {
+		return "", fmt.Errorf("server: resolving data directory: %w", err)
+	}
+	root, err = filepath.EvalSymlinks(root)
+	if err != nil {
+		return "", fmt.Errorf("server: resolving data directory: %w", err)
+	}
+	if !filepath.IsAbs(p) {
+		p = filepath.Join(root, p)
+	}
+	resolved, err := filepath.EvalSymlinks(filepath.Clean(p))
+	if err != nil {
+		return "", fmt.Errorf("server: resolving dataset path: %w", err)
+	}
+	rel, err := filepath.Rel(root, resolved)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("server: path %q is outside the data directory", p)
+	}
+	return resolved, nil
 }
 
 // Handler returns the HTTP surface of the service.

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -441,8 +442,8 @@ func TestHealthzAndTasks(t *testing.T) {
 }
 
 func TestRegisterByPath(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1})
 	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 1, DataDir: dir})
 	path := dir + "/sample.csv"
 	if err := writeFile(path, "A,B\n1,2\n3,4\n"); err != nil {
 		t.Fatal(err)
@@ -456,9 +457,173 @@ func TestRegisterByPath(t *testing.T) {
 	if ds.Name != "sample.csv" || ds.Summary.Tuples != 2 {
 		t.Errorf("dataset: %+v", ds)
 	}
+
+	// Relative paths are rooted at the data directory.
+	var rel Dataset
+	code, body = doJSON(t, "POST", ts.URL+"/datasets", registerRequest{Path: "sample.csv"}, &rel)
+	if code != http.StatusOK || rel.ID != ds.ID {
+		t.Errorf("relative path: %d %s, want 200 with id %s", code, body, ds.ID)
+	}
+
+	// EvalSymlinks fails on a missing file → the path never reaches the
+	// registry.
 	code, _ = doJSON(t, "POST", ts.URL+"/datasets", registerRequest{Path: dir + "/missing.csv"}, nil)
-	if code != http.StatusBadRequest {
-		t.Errorf("missing path: %d, want 400", code)
+	if code != http.StatusForbidden {
+		t.Errorf("missing path: %d, want 403", code)
+	}
+}
+
+// TestRegisterByPathConfined checks the exfiltration guard: path
+// registration is off without -data-dir, and a configured data
+// directory cannot be escaped with absolute paths, ../, or symlinks.
+func TestRegisterByPathConfined(t *testing.T) {
+	outside := t.TempDir()
+	secret := outside + "/secret.csv"
+	if err := writeFile(secret, "A,B\n1,2\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default server: no data directory, path registration disabled.
+	_, ts := newTestServer(t, Config{Workers: 1})
+	code, body := doJSON(t, "POST", ts.URL+"/datasets", registerRequest{Path: secret}, nil)
+	if code != http.StatusForbidden || !strings.Contains(body, "disabled") {
+		t.Errorf("no data-dir: %d %s, want 403 disabled", code, body)
+	}
+
+	dir := t.TempDir()
+	if err := os.Symlink(secret, dir+"/link.csv"); err != nil {
+		t.Fatal(err)
+	}
+	_, ts = newTestServer(t, Config{Workers: 1, DataDir: dir})
+	for name, path := range map[string]string{
+		"absolute escape": secret,
+		"dotdot escape":   dir + "/../" + filepath.Base(outside) + "/secret.csv",
+		"relative dotdot": "../" + filepath.Base(outside) + "/secret.csv",
+		"symlink escape":  dir + "/link.csv",
+	} {
+		code, body := doJSON(t, "POST", ts.URL+"/datasets", registerRequest{Path: path}, nil)
+		if code != http.StatusForbidden {
+			t.Errorf("%s (%s): %d %s, want 403", name, path, code, body)
+		}
+	}
+}
+
+// TestBoundedState covers the three retention knobs that keep a
+// long-running daemon's memory bounded: the dataset cap, terminal-job
+// retention, and LRU artifact-cache eviction.
+func TestBoundedState(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxDatasets: 1, MaxJobs: 2, CacheEntries: 2})
+	ds := registerDB2(t, ts)
+
+	// Registry at capacity: identical content is still idempotent, new
+	// content is refused with 429.
+	code, _ := doJSON(t, "POST", ts.URL+"/datasets?name=db2", db2CSV(t), nil)
+	if code != http.StatusOK {
+		t.Errorf("re-register at cap: %d, want 200", code)
+	}
+	code, body := doJSON(t, "POST", ts.URL+"/datasets?name=other", []byte("A,B\n1,2\n"), nil)
+	if code != http.StatusTooManyRequests || !strings.Contains(body, "dataset limit") {
+		t.Errorf("register beyond cap: %d %s, want 429", code, body)
+	}
+
+	// Run more jobs than MaxJobs retains; each must finish before the
+	// next submit so every record is terminal and evictable.
+	var ids []string
+	for _, params := range []float64{0.3, 0.4, 0.5, 0.6} {
+		var v JobView
+		code, body := doJSON(t, "POST", ts.URL+"/jobs",
+			submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: params}}, &v)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit psi=%v: %d %s", params, code, body)
+		}
+		waitJob(t, ts, v.ID)
+		ids = append(ids, v.ID)
+	}
+	if n := len(s.jobs.List()); n > 2 {
+		t.Errorf("retained job records = %d, want ≤ 2", n)
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/jobs/"+ids[0], nil, nil); code != http.StatusNotFound {
+		t.Errorf("oldest job should be forgotten: %d, want 404", code)
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/jobs/"+ids[len(ids)-1], nil, nil); code != http.StatusOK {
+		t.Errorf("newest job should survive retention: %d, want 200", code)
+	}
+
+	// Four distinct artifacts through a 2-entry cache: LRU keeps it at 2.
+	if stats := s.CacheStats(); stats.Entries > 2 {
+		t.Errorf("cache entries = %d, want ≤ 2", stats.Entries)
+	}
+	// The most recent artifact is still a hit, the first was evicted.
+	var v JobView
+	doJSON(t, "POST", ts.URL+"/jobs",
+		submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: 0.6}}, &v)
+	if !v.CacheHit {
+		t.Error("most recent artifact should still be cached")
+	}
+	doJSON(t, "POST", ts.URL+"/jobs",
+		submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: 0.3}}, &v)
+	if v.CacheHit {
+		t.Error("oldest artifact should have been evicted")
+	}
+	waitJob(t, ts, v.ID)
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // refresh a: b is now least recent
+		t.Fatal("a should be cached")
+	}
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a was refreshed and should survive")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c is newest and should survive")
+	}
+	if st := c.Stats(); st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+}
+
+// TestRegistryIdentity checks that dataset identity is the full content
+// hash: Get accepts both forms, and a short-id prefix collision extends
+// the new alias instead of silently resolving to the other dataset.
+func TestRegistryIdentity(t *testing.T) {
+	g := NewRegistry(relation.Limits{}, 0)
+	ds, created, err := g.RegisterCSV("x", "test", []byte("A,B\n1,2\n"))
+	if err != nil || !created {
+		t.Fatalf("register: %v created=%t", err, created)
+	}
+	if len(ds.Hash) != 64 || ds.ID != ds.Hash[:shortIDLen] {
+		t.Fatalf("identity: id=%s hash=%s", ds.ID, ds.Hash)
+	}
+	for _, key := range []string{ds.ID, ds.Hash} {
+		if got, ok := g.Get(key); !ok || got != ds {
+			t.Errorf("Get(%s) = %v, %t", key, got, ok)
+		}
+	}
+
+	// Simulate a 48-bit prefix collision: a resident alias with the same
+	// 12-char prefix but a different full hash must not be returned for
+	// the new content — the new id extends until unambiguous.
+	other := ds.Hash[:shortIDLen] + strings.Repeat("0", 64-shortIDLen)
+	g.mu.Lock()
+	delete(g.byHash, ds.Hash) // forget ds so its content re-registers
+	delete(g.alias, ds.ID)
+	g.alias[other[:shortIDLen]] = other // the collider now owns the 12-char prefix
+	g.byHash[other] = &Dataset{ID: other[:shortIDLen], Hash: other}
+	id := g.assignIDLocked(ds.Hash)
+	g.mu.Unlock()
+	if id == other[:shortIDLen] {
+		t.Fatal("colliding prefix must not be reused")
+	}
+	if !strings.HasPrefix(ds.Hash, id) || len(id) <= shortIDLen {
+		t.Errorf("extended id %s should be a longer prefix of %s", id, ds.Hash)
 	}
 }
 
