@@ -23,7 +23,8 @@
 //
 // Every task also accepts -json, which emits the same machine-readable
 // result the structmined server serves — one output contract for both
-// front ends.
+// front ends — and -stats, which prints per-stage wall-clock timings to
+// stderr after the run.
 package main
 
 import (
@@ -34,6 +35,7 @@ import (
 	"os"
 
 	"structmine"
+	"structmine/internal/obs"
 	"structmine/internal/task"
 )
 
@@ -75,14 +77,32 @@ func run(args []string) error {
 	minSim := fs.Float64("minsim", 0.5, "minimum string similarity for dedup pairs")
 	minCont := fs.Float64("mincont", 0.9, "minimum containment for the joins task")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON (the structmined output contract)")
+	stats := fs.Bool("stats", false, "print per-stage wall-clock timings to stderr after the run")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+
+	// With -stats every stage records itself on a trace carried by the
+	// context; the report lands on stderr so it composes with -json on
+	// stdout. In -json mode the runner's internal stage boundaries are
+	// traced; the text renderers call the miner directly, so they time
+	// parsing and the task as two coarse stages.
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *stats {
+		tr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+		defer func() {
+			tr.Finish()
+			tr.Report().WriteStageReport(os.Stderr)
+		}()
 	}
 
 	if taskName == "joins" {
 		if fs.NArg() < 2 {
 			return fmt.Errorf("task joins requires at least two CSV files")
 		}
+		tr.Enter("parse")
 		var rels []*structmine.Relation
 		for _, path := range fs.Args() {
 			rel, err := structmine.ReadCSVFile(path)
@@ -91,6 +111,7 @@ func run(args []string) error {
 			}
 			rels = append(rels, rel)
 		}
+		tr.Enter("join discovery")
 		if *jsonOut {
 			return printJSON(structmine.FindJoinableResult(rels, *minCont, 2))
 		}
@@ -110,6 +131,7 @@ func run(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("task %s requires exactly one CSV file", taskName)
 	}
+	tr.Enter("parse")
 	r, err := structmine.ReadCSVFile(fs.Arg(0))
 	if err != nil {
 		return err
@@ -117,7 +139,7 @@ func run(args []string) error {
 	m := structmine.NewMiner(r, structmine.Options{PhiT: *phiT, PhiV: *phiV, Psi: *psi})
 
 	if *jsonOut {
-		res, err := m.RunTask(context.Background(), taskName, structmine.TaskParams{
+		res, err := m.RunTask(ctx, taskName, structmine.TaskParams{
 			PhiT: *phiT, PhiV: *phiV, Psi: *psi, K: *k,
 			Eps: *eps, MaxLHS: *maxLHS, MinSim: *minSim, Double: *double,
 		})
@@ -127,6 +149,7 @@ func run(args []string) error {
 		return printJSON(res)
 	}
 
+	tr.Enter(taskName)
 	fmt.Println(m.Describe())
 
 	switch taskName {

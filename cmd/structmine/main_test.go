@@ -273,3 +273,37 @@ func TestDocCommentListsEveryTask(t *testing.T) {
 		}
 	}
 }
+
+// TestRunStatsFlag checks -stats: the JSON result stays alone on stdout
+// while the per-stage timing table lands on stderr, including the
+// pipeline stages the runner traces.
+func TestRunStatsFlag(t *testing.T) {
+	path := writeFixture(t)
+	oldErr := os.Stderr
+	rd, wr, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = wr
+	done := make(chan []byte)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(rd)
+		done <- buf.Bytes()
+	}()
+	out := captureStdout(t, func() error { return run([]string{"rank-fds", "-json", "-stats", path}) })
+	os.Stderr = oldErr
+	wr.Close()
+	stderr := string(<-done)
+	rd.Close()
+
+	var decoded map[string]any
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatalf("-stats must not pollute the JSON on stdout: %v\n%.200s", err, out)
+	}
+	for _, want := range []string{"stage timings:", "parse", "dependency mining", "ranking", "total"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("-stats stderr is missing %q:\n%s", want, stderr)
+		}
+	}
+}

@@ -28,8 +28,14 @@
 //	GET  /jobs/{id}           poll one job (queued|running|done|failed|canceled)
 //	GET  /jobs/{id}/result    fetch a completed job's artifact
 //	POST /jobs/{id}/cancel    cancel a queued or running job
+//	GET  /jobs/{id}/trace     per-stage wall-clock timings of a finished job
 //	GET  /tasks               list runnable tasks
 //	GET  /healthz             liveness, drain state, cache counters
+//	GET  /metrics             Prometheus text exposition (engine + server metrics)
+//
+// Passing -pprof additionally mounts net/http/pprof under /debug/pprof/.
+// Like the rest of the surface it is unauthenticated — only enable it on
+// a loopback or otherwise trusted address.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: new work is rejected with
 // 503 while accepted jobs drain, then the listener closes.
@@ -75,6 +81,7 @@ func run(args []string, ready chan<- string) error {
 	maxDatasets := fs.Int("max-datasets", 64, "maximum resident datasets")
 	maxJobs := fs.Int("max-jobs", 1024, "maximum retained job records (oldest finished jobs are forgotten first)")
 	cacheEntries := fs.Int("cache-entries", 512, "maximum artifact-cache entries (LRU eviction)")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (unauthenticated; loopback only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +96,7 @@ func run(args []string, ready chan<- string) error {
 		MaxDatasets:    *maxDatasets,
 		MaxJobs:        *maxJobs,
 		CacheEntries:   *cacheEntries,
+		EnablePprof:    *enablePprof,
 	})
 	for _, path := range fs.Args() {
 		ds, _, err := srv.Registry().RegisterPath(path)

@@ -138,6 +138,8 @@ func (e *engine) step(res *Result) bool {
 	})
 	e.pushMergeCandidates(node)
 	e.maybeCompact()
+	aibMerges.Inc()
+	aibHeapSize.Set(int64(e.h.len()))
 	return true
 }
 
@@ -201,6 +203,7 @@ func (e *engine) maybeCompact() {
 	}
 	e.h.items = kept
 	e.h.init()
+	aibCompactions.Inc()
 	if testHookCompact != nil {
 		testHookCompact(before, e.h.len())
 	}

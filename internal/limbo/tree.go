@@ -3,6 +3,7 @@ package limbo
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Config controls Phase 1 tree construction.
@@ -32,6 +33,8 @@ type Tree struct {
 	leafEntries int
 	inserted    int
 	rebuilds    int
+	nodes       int // node structs in the tree (≥ 1: the root)
+	height      int // levels from root to leaves (1 for a leaf root)
 }
 
 type node struct {
@@ -49,7 +52,7 @@ func NewTree(cfg Config) *Tree {
 	if cfg.B <= 1 {
 		cfg.B = 4
 	}
-	return &Tree{cfg: cfg, root: &node{leaf: true}}
+	return &Tree{cfg: cfg, root: &node{leaf: true}, nodes: 1, height: 1}
 }
 
 // Threshold returns the current merge threshold (it may have grown in
@@ -65,11 +68,20 @@ func (t *Tree) Inserted() int { return t.inserted }
 // Rebuilds returns how many adaptive-threshold rebuilds occurred.
 func (t *Tree) Rebuilds() int { return t.rebuilds }
 
+// Nodes returns the number of node structs in the tree (internal nodes
+// plus leaves; 1 for an empty tree, whose root is a leaf).
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Height returns the number of levels from the root down to the leaves
+// (1 while the root is itself a leaf).
+func (t *Tree) Height() int { return t.height }
+
 // Insert streams one object into the tree (Phase 1). It returns the leaf
 // DCF the object was absorbed into (or became); the pointer remains
 // valid for the tree's lifetime unless an adaptive rebuild occurs (only
 // possible in MaxLeafEntries mode).
 func (t *Tree) Insert(o Obj) *DCF {
+	start := time.Now()
 	t.inserted++
 	leaf := t.insertDCF(NewDCF(o))
 	if t.cfg.MaxLeafEntries > 0 {
@@ -77,6 +89,10 @@ func (t *Tree) Insert(o Obj) *DCF {
 			t.rebuild()
 		}
 	}
+	limboInserts.Inc()
+	limboInsertSeconds.Observe(time.Since(start).Seconds())
+	limboTreeNodes.Set(int64(t.nodes))
+	limboTreeHeight.Set(int64(t.height))
 	return leaf
 }
 
@@ -84,6 +100,8 @@ func (t *Tree) insertDCF(d *DCF) *DCF {
 	split, e1, e2, leaf := t.insertInto(t.root, d)
 	if split {
 		t.root = &node{leaf: false, entries: []*entry{e1, e2}}
+		t.nodes++
+		t.height++
 	}
 	return leaf
 }
@@ -137,6 +155,7 @@ func (t *Tree) insertInto(n *node, d *DCF) (split bool, e1, e2 *entry, leaf *DCF
 // of entries at maximum δI and assigning the rest to the nearer seed
 // (the BIRCH splitting policy adapted to information loss).
 func (t *Tree) splitNode(n *node) (*entry, *entry) {
+	t.nodes++ // two nodes replace one
 	s1, s2 := 0, 1
 	maxDist := math.Inf(-1)
 	for i := 0; i < len(n.entries); i++ {
@@ -199,7 +218,10 @@ func (t *Tree) rebuild() {
 	}
 	t.root = &node{leaf: true}
 	t.leafEntries = 0
+	t.nodes = 1
+	t.height = 1
 	t.rebuilds++
+	limboRebuilds.Inc()
 	for _, d := range leaves {
 		t.insertDCF(d)
 	}
@@ -226,12 +248,19 @@ func (t *Tree) Leaves() []*DCF {
 }
 
 // Validate checks structural invariants (for tests): fanout bounds,
-// leaf-entry count, and that every internal entry's DCF mass equals the
-// sum of its subtree's leaf masses.
+// leaf-entry count, the node and height bookkeeping behind the DCF-tree
+// gauges, and that every internal entry's DCF mass equals the sum of its
+// subtree's leaf masses.
 func (t *Tree) Validate() error {
 	count := 0
+	nodeCount := 0
+	maxDepth := 0
 	var walk func(n *node, depth int) (float64, int, error)
 	walk = func(n *node, depth int) (float64, int, error) {
+		nodeCount++
+		if depth+1 > maxDepth {
+			maxDepth = depth + 1
+		}
 		if len(n.entries) == 0 && depth > 0 {
 			return 0, 0, fmt.Errorf("limbo: empty non-root node at depth %d", depth)
 		}
@@ -281,6 +310,12 @@ func (t *Tree) Validate() error {
 	}
 	if nObjs != t.inserted {
 		return fmt.Errorf("limbo: inserted=%d but leaves summarize %d", t.inserted, nObjs)
+	}
+	if nodeCount != t.nodes {
+		return fmt.Errorf("limbo: nodes=%d but counted %d", t.nodes, nodeCount)
+	}
+	if maxDepth != t.height {
+		return fmt.Errorf("limbo: height=%d but walked depth %d", t.height, maxDepth)
 	}
 	return nil
 }

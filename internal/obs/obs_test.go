@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	if len(b) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Errorf("buckets not strictly increasing at %d: %g <= %g", i, b[i], b[i-1])
+		}
+	}
+	for i := 1; i < len(TimeBuckets); i++ {
+		if TimeBuckets[i] <= TimeBuckets[i-1] {
+			t.Errorf("TimeBuckets not strictly increasing at %d", i)
+		}
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation
+// exactly on a bound belongs to that bound's bucket, one ulp above it
+// spills into the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "h", []float64{1, 10, 100})
+
+	h.Observe(0.5)                  // below the first bound → bucket 0
+	h.Observe(1)                    // exactly on bound 1 → bucket 0 (le="1")
+	h.Observe(math.Nextafter(1, 2)) // just above 1 → bucket 1
+	h.Observe(10)                   // exactly on bound 10 → bucket 1
+	h.Observe(100)                  // exactly on the last bound → bucket 2
+	h.Observe(101)                  // beyond every bound → +Inf overflow
+
+	got := h.BucketCounts()
+	want := []uint64{2, 2, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d count = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	wantSum := 0.5 + 1 + math.Nextafter(1, 2) + 10 + 100 + 101
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+// TestHistogramRenderCumulative checks the rendered _bucket series are
+// cumulative and _count equals the +Inf bucket.
+func TestHistogramRenderCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{1, 2})
+	for _, v := range []float64{0.5, 0.7, 1.5, 9} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="2"} 3`,
+		`lat_bucket{le="+Inf"} 4`,
+		`lat_count 4`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("rendered output missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "Total ops.")
+	c.Add(3)
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(-2)
+	cv := r.CounterVec("req_total", "Requests.", "route")
+	cv.With("GET /x").Add(2)
+	cv.With(`we"ird\label`).Inc()
+	r.GaugeFunc("resident", "Resident bytes.", func() float64 { return 1.5 })
+	r.GaugeSamplesFunc("jobs", "Jobs by state.", "state", func() []Sample {
+		return []Sample{{Label: "queued", Value: 1}, {Label: "done", Value: 4}}
+	})
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		"# HELP ops_total Total ops.",
+		"# TYPE ops_total counter",
+		"ops_total 3",
+		"# TYPE depth gauge",
+		"depth -2",
+		`req_total{route="GET /x"} 2`,
+		`req_total{route="we\"ird\\label"} 1`,
+		"resident 1.5",
+		`jobs{state="queued"} 1`,
+		`jobs{state="done"} 4`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("rendered output missing %q:\n%s", line, out)
+		}
+	}
+
+	// Every non-comment line must be a valid exposition sample.
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Errorf("invalid exposition line %q", line)
+		}
+	}
+}
+
+func TestRegisterIdempotentAndShapeConflict(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "h")
+	b := r.Counter("c", "h")
+	if a != b {
+		t.Error("re-registering the same counter should return the same instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different shape should panic")
+		}
+	}()
+	r.Gauge("c", "h")
+}
+
+func TestTraceStagesMonotonic(t *testing.T) {
+	tr := NewTrace()
+	tr.Enter("parse")
+	time.Sleep(2 * time.Millisecond)
+	tr.Enter("cluster")
+	time.Sleep(2 * time.Millisecond)
+	tr.Enter("rank")
+	tr.Finish()
+	tr.Finish() // idempotent
+
+	rep := tr.Report()
+	names := []string{}
+	for _, s := range rep.Stages {
+		names = append(names, s.Name)
+	}
+	if strings.Join(names, ",") != "parse,cluster,rank" {
+		t.Fatalf("stages = %v", names)
+	}
+	prevEnd := 0.0
+	for _, s := range rep.Stages {
+		if s.DurationMS < 0 {
+			t.Errorf("stage %s has negative duration %g", s.Name, s.DurationMS)
+		}
+		if s.StartMS < prevEnd-1e-6 {
+			t.Errorf("stage %s starts at %gms before previous stage ended at %gms", s.Name, s.StartMS, prevEnd)
+		}
+		prevEnd = s.StartMS + s.DurationMS
+	}
+	if rep.TotalMS < 4 {
+		t.Errorf("total %gms should cover the two 2ms sleeps", rep.TotalMS)
+	}
+
+	var b strings.Builder
+	rep.WriteStageReport(&b)
+	if !strings.Contains(b.String(), "cluster") || !strings.Contains(b.String(), "total") {
+		t.Errorf("stage report missing content:\n%s", b.String())
+	}
+}
+
+func TestTraceViaContext(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	Stage(ctx, "one")
+	Stage(ctx, "two")
+	tr.Finish()
+	if n := len(tr.Report().Stages); n != 2 {
+		t.Fatalf("got %d stages, want 2", n)
+	}
+	// Untraced context: Stage must be a harmless no-op.
+	Stage(context.Background(), "ignored")
+	if TraceFrom(context.Background()) != nil {
+		t.Error("TraceFrom on an untraced context should be nil")
+	}
+	var nilTrace *Trace
+	nilTrace.Enter("x")
+	nilTrace.Finish()
+	if len(nilTrace.Report().Stages) != 0 {
+		t.Error("nil trace should report no stages")
+	}
+}
+
+// TestConcurrentUpdatesAndRender hammers every metric kind from many
+// goroutines while rendering — the -race gate for the atomic paths.
+func TestConcurrentUpdatesAndRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h", "h", LogBuckets(1e-6, 4, 8))
+	hv := r.HistogramVec("hv", "hv", "k", LogBuckets(1e-6, 4, 8))
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(float64(i) * 1e-6)
+				hv.With("a").Observe(float64(i) * 1e-5)
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				if err := r.WriteText(&b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}

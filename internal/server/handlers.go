@@ -6,22 +6,48 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strings"
+	"time"
 
+	"structmine/internal/obs"
 	"structmine/internal/task"
 )
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /datasets", s.handleRegisterDataset)
-	s.mux.HandleFunc("GET /datasets", s.handleListDatasets)
-	s.mux.HandleFunc("GET /datasets/{id}", s.handleGetDataset)
-	s.mux.HandleFunc("POST /jobs", s.handleSubmitJob)
-	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
-	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancelJob)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /tasks", s.handleListTasks)
+	// Every route is registered through handle, which wraps the handler
+	// with a per-route request counter and latency histogram. The route
+	// label is the registration pattern, so the cardinality is fixed at
+	// the route table size regardless of traffic.
+	handle := func(pattern string, h http.HandlerFunc) {
+		count := s.reqTotal.With(pattern)
+		latency := s.reqSeconds.With(pattern)
+		s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			h(w, r)
+			count.Inc()
+			latency.Observe(time.Since(start).Seconds())
+		})
+	}
+	handle("POST /datasets", s.handleRegisterDataset)
+	handle("GET /datasets", s.handleListDatasets)
+	handle("GET /datasets/{id}", s.handleGetDataset)
+	handle("POST /jobs", s.handleSubmitJob)
+	handle("GET /jobs", s.handleListJobs)
+	handle("GET /jobs/{id}", s.handleGetJob)
+	handle("GET /jobs/{id}/result", s.handleJobResult)
+	handle("GET /jobs/{id}/trace", s.handleJobTrace)
+	handle("POST /jobs/{id}/cancel", s.handleCancelJob)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /tasks", s.handleListTasks)
+	handle("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -210,6 +236,37 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, "job %s is %s; poll GET /jobs/%s until done",
 			view.ID, view.State, view.ID)
 	}
+}
+
+// jobTrace wraps a terminal job's per-stage timings with its metadata.
+type jobTrace struct {
+	Job   JobView         `json:"job"`
+	Trace obs.TraceReport `json:"trace"`
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	rep, view, ok := s.jobs.Trace(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !view.State.Terminal() {
+		writeErr(w, http.StatusConflict, "job %s is %s; its trace is available once it finishes",
+			view.ID, view.State)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobTrace{Job: view, Trace: rep})
+}
+
+// handleMetrics serves the Prometheus text exposition: the process-wide
+// engine metrics (AIB, LIMBO, pipeline stages) followed by this server's
+// own request, job, cache, and dataset metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.Default.WriteText(w); err != nil {
+		return
+	}
+	_ = s.metrics.WriteText(w)
 }
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"structmine/internal/obs"
 	"structmine/internal/task"
 )
 
@@ -47,6 +48,7 @@ type Job struct {
 	errMsg   string
 	cacheHit bool
 	result   any
+	trace    obs.TraceReport // per-stage timings, filled when the job terminates
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -147,7 +149,8 @@ func (q *Runner) Submit(datasetID, taskName string, p task.Params) (JobView, err
 	job := &Job{
 		id: fmt.Sprintf("job-%06d", q.seq), dataset: ds, task: taskName, params: p,
 		key: Key(ds.Hash, taskName, p), state: StateQueued,
-		ctx: ctx, cancel: cancel, done: make(chan struct{}),
+		trace: obs.TraceReport{Stages: []obs.StageTiming{}},
+		ctx:   ctx, cancel: cancel, done: make(chan struct{}),
 	}
 	if v, ok := q.cache.Get(job.key); ok {
 		job.state = StateDone
@@ -216,9 +219,14 @@ func (q *Runner) run(job *Job) {
 		ctx, cancel = context.WithTimeout(ctx, q.timeout)
 		defer cancel()
 	}
-	res, err := task.Run(ctx, job.dataset.Relation(), job.task, job.params)
+	// Each job gets its own trace buffer; the pipeline stages inside
+	// task.Run record themselves on it through the context.
+	tr := obs.NewTrace()
+	res, err := task.Run(obs.WithTrace(ctx, tr), job.dataset.Relation(), job.task, job.params)
+	tr.Finish()
 
 	q.mu.Lock()
+	job.trace = tr.Report()
 	switch {
 	case err == nil:
 		job.state = StateDone
@@ -249,6 +257,32 @@ func (q *Runner) Get(id string) (JobView, bool) {
 		return JobView{}, false
 	}
 	return job.viewLocked(), true
+}
+
+// Trace returns the job's per-stage timing report; it is meaningful
+// only once the job is terminal (the handler enforces that).
+func (q *Runner) Trace(id string) (obs.TraceReport, JobView, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job, ok := q.jobs[id]
+	if !ok {
+		return obs.TraceReport{}, JobView{}, false
+	}
+	return job.trace, job.viewLocked(), true
+}
+
+// QueueDepth returns how many accepted jobs are waiting for a worker.
+func (q *Runner) QueueDepth() int { return len(q.queue) }
+
+// StateCounts returns how many retained job records sit in each state.
+func (q *Runner) StateCounts() map[State]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[State]int, 5)
+	for _, job := range q.jobs {
+		out[job.state]++
+	}
+	return out
 }
 
 // Result returns the job's artifact once it is done.

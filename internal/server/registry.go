@@ -31,7 +31,10 @@ type Dataset struct {
 	// itself accepted anywhere an id is.
 	Hash string `json:"hash"`
 	// Source records where the data came from ("upload" or a file path).
-	Source  string               `json:"source"`
+	Source string `json:"source"`
+	// Bytes is the size of the registered CSV source — the residency
+	// cost proxy behind the structmined_dataset_resident_bytes gauge.
+	Bytes   int64                `json:"bytes"`
 	Summary *task.DescribeResult `json:"summary"`
 
 	rel *relation.Relation
@@ -113,7 +116,7 @@ func (g *Registry) RegisterCSV(name, source string, data []byte) (ds *Dataset, c
 	}
 	ds = &Dataset{
 		ID: g.assignIDLocked(hash), Name: name, Hash: hash, Source: source,
-		Summary: summary, rel: rel,
+		Bytes: int64(len(data)), Summary: summary, rel: rel,
 	}
 	g.byHash[hash] = ds
 	g.alias[ds.ID] = hash
@@ -158,4 +161,16 @@ func (g *Registry) Len() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return len(g.byHash)
+}
+
+// ResidentBytes returns the total CSV source size of every resident
+// dataset.
+func (g *Registry) ResidentBytes() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var total int64
+	for _, ds := range g.byHash {
+		total += ds.Bytes
+	}
+	return total
 }

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"structmine/internal/obs"
 	"structmine/internal/relation"
 )
 
@@ -64,6 +65,10 @@ type Config struct {
 	// CacheEntries caps the artifact cache (default 512); beyond it the
 	// least recently used artifacts are evicted.
 	CacheEntries int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiling surface is unauthenticated, so it should
+	// only be exposed deliberately (the daemon's -pprof flag).
+	EnablePprof bool
 }
 
 func (c Config) normalized() Config {
@@ -99,6 +104,14 @@ type Server struct {
 	cache *Cache
 	jobs  *Runner
 	mux   *http.ServeMux
+
+	// metrics is this server's own registry (request counters, queue and
+	// cache gauges); GET /metrics renders it after the process-wide
+	// obs.Default holding the engine metrics. Per-server so tests can
+	// assemble many servers in one process without name collisions.
+	metrics    *obs.Registry
+	reqTotal   *obs.CounterVec
+	reqSeconds *obs.HistogramVec
 }
 
 // New assembles a server and starts its worker pool.
@@ -111,8 +124,55 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 	}
 	s.jobs = NewRunner(s.reg, s.cache, cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.MaxJobs)
+	s.registerMetrics()
 	s.routes()
 	return s
+}
+
+// registerMetrics wires the server-side metric families. Request
+// counters and latency histograms are updated by the route wrapper in
+// routes(); everything else is read from live state at scrape time.
+func (s *Server) registerMetrics() {
+	m := obs.NewRegistry()
+	s.metrics = m
+	s.reqTotal = m.CounterVec("structmined_http_requests_total",
+		"HTTP requests served, by route pattern.", "route")
+	s.reqSeconds = m.HistogramVec("structmined_http_request_seconds",
+		"HTTP request latency in seconds, by route pattern.", "route", obs.TimeBuckets)
+	m.GaugeSamplesFunc("structmined_jobs",
+		"Retained job records, by lifecycle state.", "state", func() []obs.Sample {
+			counts := s.jobs.StateCounts()
+			states := []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+			out := make([]obs.Sample, len(states))
+			for i, st := range states {
+				out[i] = obs.Sample{Label: string(st), Value: float64(counts[st])}
+			}
+			return out
+		})
+	m.GaugeFunc("structmined_jobs_queue_depth",
+		"Accepted jobs waiting for a worker.", func() float64 {
+			return float64(s.jobs.QueueDepth())
+		})
+	m.CounterFunc("structmined_cache_hits_total",
+		"Artifact-cache lookups answered without re-running the miner.", func() float64 {
+			return float64(s.cache.Stats().Hits)
+		})
+	m.CounterFunc("structmined_cache_misses_total",
+		"Artifact-cache lookups that required a miner run.", func() float64 {
+			return float64(s.cache.Stats().Misses)
+		})
+	m.GaugeFunc("structmined_cache_entries",
+		"Artifacts currently resident in the cache.", func() float64 {
+			return float64(s.cache.Stats().Entries)
+		})
+	m.GaugeFunc("structmined_datasets",
+		"Datasets kept resident in the registry.", func() float64 {
+			return float64(s.reg.Len())
+		})
+	m.GaugeFunc("structmined_dataset_resident_bytes",
+		"Total CSV source size of the resident datasets.", func() float64 {
+			return float64(s.reg.ResidentBytes())
+		})
 }
 
 // resolveDataPath validates a client-supplied registration path against

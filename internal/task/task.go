@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 
+	"structmine/internal/obs"
 	"structmine/internal/relation"
 )
 
@@ -210,11 +211,16 @@ func Run(ctx context.Context, r *relation.Relation, taskName string, p Params) (
 	return nil, fmt.Errorf("task: %q has no runner", taskName)
 }
 
-// step returns the context's error, annotated with the stage it aborted
-// before; called between the expensive stages of multi-step tasks.
+// step marks one pipeline-stage boundary: it returns the context's
+// error, annotated with the stage it aborted before, and otherwise
+// enters the stage on the context's trace (if one is attached), so every
+// runner gets per-stage wall-clock timing for free. The caller that owns
+// the trace (the job runner, or the CLI's -stats mode) finishes it after
+// Run returns, closing the last stage.
 func step(ctx context.Context, stage string) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("task: canceled before %s: %w", stage, err)
 	}
+	obs.Stage(ctx, stage)
 	return nil
 }

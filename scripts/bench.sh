@@ -17,9 +17,10 @@ go test -run '^$' -bench "$pattern" -benchmem \
   -benchtime "${BENCHTIME:-1x}" -timeout 45m . | tee "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-    -v cpus="$(nproc)" '
-BEGIN { n = 0 }
-/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+    -v cpus="$(nproc)" \
+    -v gover="$(go version | awk '{print $3}')" '
+BEGIN { n = 0; cpu = "unknown" } # `go test` omits the cpu: line on some platforms
+/^cpu:/ { sub(/^cpu: */, ""); if ($0 != "") cpu = $0 }
 /^Benchmark/ {
     name = $1; iters = $2
     ns = "null"; bytes = "null"; allocs = "null"
@@ -36,6 +37,7 @@ END {
     printf "  \"generated\": \"%s\",\n", date
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"cpus\": %s,\n", cpus
+    printf "  \"go_version\": \"%s\",\n", gover
     print "  \"benchmarks\": ["
     for (i = 0; i < n; i++) printf "%s%s\n", line[i], (i < n-1 ? "," : "")
     print "  ]"

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Compares two bench.sh JSON files benchmark-by-benchmark on ns_per_op.
+#
+#   scripts/benchcmp.sh BASELINE.json CURRENT.json
+#
+# A regression beyond WARN_PCT (default 10) prints a warning; beyond
+# FAIL_PCT (default 50) the script exits nonzero. Speed-ups and
+# benchmarks present in only one file are reported but never fail.
+# Benchmarks whose baseline is below MIN_FAIL_NS (default 1ms) warn but
+# never fail either: bench.sh times one iteration (BENCHTIME=1x), and a
+# single sub-millisecond measurement is dominated by timer and
+# scheduling jitter, not by the code under test. Thresholds are
+# deliberately loose: CI runners are noisy, and the gate exists to catch
+# order-of-magnitude mistakes in the engine benchmarks, not
+# single-digit drift.
+set -euo pipefail
+
+if ! command -v jq >/dev/null 2>&1; then
+  echo "benchcmp: FAIL — required tool 'jq' is not installed" >&2
+  exit 1
+fi
+
+if [ $# -ne 2 ]; then
+  echo "usage: scripts/benchcmp.sh BASELINE.json CURRENT.json" >&2
+  exit 2
+fi
+base=$1 cur=$2
+for f in "$base" "$cur"; do
+  [ -f "$f" ] || { echo "benchcmp: FAIL — no such file: $f" >&2; exit 2; }
+  jq -e '.benchmarks | type == "array"' "$f" >/dev/null \
+    || { echo "benchcmp: FAIL — $f is not a bench.sh JSON file" >&2; exit 2; }
+done
+
+warn_pct=${WARN_PCT:-10}
+fail_pct=${FAIL_PCT:-50}
+min_fail_ns=${MIN_FAIL_NS:-1000000}
+
+echo "benchcmp: $base ($(jq -r '.go_version // "unknown go"' "$base")) vs $cur ($(jq -r '.go_version // "unknown go"' "$cur"))"
+
+# One line per benchmark in the baseline: name, baseline ns, current ns
+# (or "missing"), joined in jq so the shell loop stays trivial.
+fail=0
+while IFS=$'\t' read -r name b c; do
+  if [ "$c" = missing ]; then
+    echo "benchcmp: NOTE  $name: absent from $cur"
+    continue
+  fi
+  pct=$(awk -v b="$b" -v c="$c" 'BEGIN { printf "%+.1f", 100 * (c - b) / b }')
+  abs=${pct#+}; abs=${abs#-}
+  verdict=ok
+  if [ "${pct#+}" != "$pct" ]; then # slower
+    if awk -v a="$abs" -v t="$fail_pct" 'BEGIN { exit !(a > t) }'; then
+      if awk -v b="$b" -v m="$min_fail_ns" 'BEGIN { exit !(b >= m) }'; then
+        verdict=FAIL; fail=1
+      else
+        verdict=WARN # too short to gate at one timed iteration
+      fi
+    elif awk -v a="$abs" -v t="$warn_pct" 'BEGIN { exit !(a > t) }'; then
+      verdict=WARN
+    fi
+  fi
+  printf 'benchcmp: %-5s %-48s %14s -> %14s ns/op (%s%%)\n' "$verdict" "$name" "$b" "$c" "$pct"
+done < <(jq -r --slurpfile cur "$cur" '
+  ( [$cur[0].benchmarks[] | {(.name): .ns_per_op}] | add // {} ) as $c
+  | .benchmarks[]
+  | [.name, (.ns_per_op | tostring), (($c[.name] // "missing") | tostring)]
+  | @tsv' "$base")
+
+while IFS= read -r name; do
+  echo "benchcmp: NOTE  $name: new benchmark, no baseline"
+done < <(jq -r --slurpfile base "$base" '
+  ( [$base[0].benchmarks[].name] ) as $b
+  | .benchmarks[].name | select(. as $n | $b | index($n) | not)' "$cur")
+
+if [ "$fail" -ne 0 ]; then
+  echo "benchcmp: FAIL — at least one benchmark regressed more than ${fail_pct}% (raise FAIL_PCT to override on a known-noisy runner)" >&2
+  exit 1
+fi
+echo "benchcmp: PASS (warn >${warn_pct}%, fail >${fail_pct}%)"

@@ -1,14 +1,31 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the structmined service: boot on a random
 # port, register the generated DB2 sample, run a rank-fds job to
-# completion, and assert the identical repeated query is answered from
-# the artifact cache. Finishes with a SIGTERM to check graceful drain.
+# completion, assert the identical repeated query is answered from the
+# artifact cache, and scrape the observability surface (/metrics and the
+# job's /trace). Finishes with a SIGTERM to check graceful drain.
+#
+# On failure the daemon log is copied to $SMOKE_ARTIFACT_DIR (when set),
+# so CI can upload it as an artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+for tool in curl jq; do
+  if ! command -v "$tool" >/dev/null 2>&1; then
+    echo "smoke: FAIL — required tool '$tool' is not installed (the smoke test drives the HTTP API with curl and parses responses with jq)" >&2
+    exit 1
+  fi
+done
+
 workdir=$(mktemp -d)
 pid=""
+status=1
 cleanup() {
+  if [ "$status" -ne 0 ] && [ -n "${SMOKE_ARTIFACT_DIR:-}" ] && [ -f "$workdir/log" ]; then
+    mkdir -p "$SMOKE_ARTIFACT_DIR"
+    cp "$workdir/log" "$SMOKE_ARTIFACT_DIR/structmined.log"
+    echo "smoke: daemon log preserved at $SMOKE_ARTIFACT_DIR/structmined.log" >&2
+  fi
   [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
   rm -rf "$workdir"
 }
@@ -57,6 +74,19 @@ ranked=$(curl -sS "$base/jobs/$id/result" | jq '.result.ranked | length')
 [ "$ranked" -gt 0 ] || { echo "smoke: FAIL — empty rank-fds result"; exit 1; }
 echo "smoke: job $id done, $ranked ranked dependencies"
 
+stages=$(curl -sS "$base/jobs/$id/trace" | jq '.trace.stages | length')
+[ "$stages" -gt 0 ] || { echo "smoke: FAIL — finished job reports no trace stages"; exit 1; }
+echo "smoke: job trace reports $stages pipeline stages"
+
+metrics=$(curl -sS "$base/metrics")
+for series in structmined_http_requests_total structmined_jobs_queue_depth \
+              structmined_cache_hits_total structmine_aib_merges_total \
+              structmine_stage_seconds_bucket; do
+  echo "$metrics" | grep -q "^$series" \
+    || { echo "smoke: FAIL — /metrics is missing $series"; exit 1; }
+done
+echo "smoke: /metrics exposes the request, job, cache, and engine series"
+
 second=$(submit)
 hit=$(echo "$second" | jq -r .cache_hit)
 state2=$(echo "$second" | jq -r .state)
@@ -78,3 +108,4 @@ fi
 pid=""
 echo "smoke: graceful shutdown ok"
 echo "smoke: PASS"
+status=0
