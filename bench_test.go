@@ -292,6 +292,50 @@ func BenchmarkMicroDCFTreeInsert(b *testing.B) {
 	b.ReportMetric(float64(len(objs)), "tuples/op")
 }
 
+// BenchmarkDCFTreeInsert streams datagen DBLP tuples at several scales
+// through Phase 1 — the sized companion to BenchmarkMicroDCFTreeInsert,
+// showing how the flat-sparse kernels and tree-owned arena scale with
+// the instance (generation is excluded from the timed region).
+func BenchmarkDCFTreeInsert(b *testing.B) {
+	for _, n := range []int{5000, 10000, 20000} {
+		r := datagen.NewDBLP(datagen.DBLPConfig{
+			Tuples: n, Seed: 1, MiscFrac: 129.0 / 50000, JournalFrac: 0.28,
+		})
+		objs := tuples.Objects(r)
+		tau := limbo.Threshold(0.5, limbo.MutualInfo(objs), len(objs))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tree := limbo.NewTree(limbo.Config{B: 4, Threshold: tau})
+				for _, o := range objs {
+					tree.Insert(o)
+				}
+			}
+			b.ReportMetric(float64(len(objs)), "tuples/op")
+		})
+	}
+}
+
+// BenchmarkTANE mines the datagen relations end to end: the DB2-style
+// join sample and the DBLP instance (projection and full arity) at the
+// suite's 20k scale — the workloads whose per-level partition products
+// the arena layout and per-worker probe tables target.
+func BenchmarkTANE(b *testing.B) {
+	run := func(name string, r *relation.Relation) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fds, err := fd.TANE(r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(fds)), "fds")
+			}
+		})
+	}
+	run("db2", benchDB2(b))
+	run("dblp-proj/n=20000", benchDBLP(b).Project(datagen.ProjectionAttrs()))
+	run("dblp-full/n=20000", benchDBLP(b))
+}
+
 func BenchmarkMicroAIB(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
 	objs := make([]ib.Object, 200)

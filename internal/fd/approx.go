@@ -41,6 +41,7 @@ func MineApprox(r *relation.Relation, eps float64, maxLHS int) ([]ApproxFD, erro
 		maxLHS = m - 1
 	}
 	n := r.N()
+	sc := &prodScratch{} // one reusable probe table for every product and g3 below
 
 	// Partitions per LHS set, built level by level.
 	parts := map[AttrSet]*partition{0: emptyPartition(n)}
@@ -60,7 +61,7 @@ func MineApprox(r *relation.Relation, eps float64, maxLHS int) ([]ApproxFD, erro
 
 	// Level 0: ∅ → a.
 	for a := 0; a < m; a++ {
-		if err := g3FromPartitions(parts[0], parts[NewAttrSet(a)], n); err <= eps {
+		if err := g3FromPartitions(parts[0], parts[NewAttrSet(a)], n, sc); err <= eps {
 			record(0, a, err)
 		}
 	}
@@ -84,10 +85,10 @@ func MineApprox(r *relation.Relation, eps float64, maxLHS int) ([]ApproxFD, erro
 				xa := x.Add(a)
 				pxa, ok := parts[xa]
 				if !ok {
-					pxa = product(parts[x], parts[NewAttrSet(a)], n)
+					pxa = product(parts[x], parts[NewAttrSet(a)], n, sc)
 					parts[xa] = pxa
 				}
-				if err := g3FromPartitions(parts[x], pxa, n); err <= eps {
+				if err := g3FromPartitions(parts[x], pxa, n, sc); err <= eps {
 					record(x, a, err)
 				}
 			}
@@ -111,7 +112,7 @@ func MineApprox(r *relation.Relation, eps float64, maxLHS int) ([]ApproxFD, erro
 			if _, ok := parts[x]; !ok {
 				// Build via any single-attribute split.
 				a := x.Attrs()[0]
-				parts[x] = product(parts[x.Remove(a)], parts[NewAttrSet(a)], n)
+				parts[x] = product(parts[x.Remove(a)], parts[NewAttrSet(a)], n, sc)
 			}
 			level = append(level, x)
 		}
@@ -142,39 +143,49 @@ func MineApprox(r *relation.Relation, eps float64, maxLHS int) ([]ApproxFD, erro
 //
 // where maxSubclass(c) is the largest Π_{X∪A} class inside c (at least
 // 1, counting singletons).
-func g3FromPartitions(px, pxa *partition, n int) float64 {
+// It shares the product kernel's stamped probe table and counting
+// buckets (a nil scratch allocates a private one), so the per-candidate
+// cost in MineApprox is two linear walks with no map traffic.
+func g3FromPartitions(px, pxa *partition, n int, sc *prodScratch) float64 {
 	if n == 0 {
 		return 0
 	}
-	// Map each tuple to its stripped Π_{X∪A} class id (-1 = singleton).
-	classOf := make(map[int32]int32, pxa.size)
-	for ci, cls := range pxa.classes {
-		for _, t := range cls {
-			classOf[t] = int32(ci)
+	if sc == nil {
+		sc = &prodScratch{}
+	}
+	sc.ensure(n)
+	// Stamp each tuple with its stripped Π_{X∪A} class id (an unstamped
+	// tuple is a singleton there).
+	g := sc.nextGen()
+	for ci, nc := 0, pxa.numClasses(); ci < nc; ci++ {
+		for _, t := range pxa.class(ci) {
+			sc.tClass[t] = int32(ci)
+			sc.tGen[t] = g
 		}
 	}
-	keep := n - px.size // singletons of Π_X always stay
-	counts := map[int32]int{}
-	for _, cls := range px.classes {
-		for k := range counts {
-			delete(counts, k)
-		}
-		best := 1 // a lone representative can always stay
-		for _, t := range cls {
-			ci, ok := classOf[t]
-			if !ok {
+	keep := n - px.size() // singletons of Π_X always stay
+	for ai, na := 0, px.numClasses(); ai < na; ai++ {
+		cg := sc.nextClassGen()
+		best := int32(1) // a lone representative can always stay
+		for _, t := range px.class(ai) {
+			if sc.tGen[t] != g {
 				continue // singleton in Π_{X∪A}
 			}
-			counts[ci]++
-			if counts[ci] > best {
-				best = counts[ci]
+			ci := sc.tClass[t]
+			if sc.cGen[ci] != cg {
+				sc.cGen[ci] = cg
+				sc.cnt[ci] = 0
+			}
+			sc.cnt[ci]++
+			if sc.cnt[ci] > best {
+				best = sc.cnt[ci]
 			}
 		}
-		keep += best
+		keep += int(best)
 	}
-	g := 1 - float64(keep)/float64(n)
-	if g < 0 {
-		g = 0
+	g3 := 1 - float64(keep)/float64(n)
+	if g3 < 0 {
+		g3 = 0
 	}
-	return g
+	return g3
 }

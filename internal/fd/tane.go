@@ -2,8 +2,10 @@ package fd
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
+	"structmine/internal/par"
 	"structmine/internal/relation"
 )
 
@@ -11,7 +13,20 @@ import (
 // the instance with the level-wise algorithm of Huhtala et al. (1999),
 // using stripped partitions and the C+ (rhs-candidate) pruning rules.
 // It scales to tens of thousands of tuples, unlike the pairwise FDEP.
+//
+// Partitions are stored flat (one []int32 of tuple ids plus class
+// offsets) and products run through reusable per-worker probe tables, so
+// a level's worth of products costs O(level) allocations instead of
+// O(classes). Per-level products fan out across workers above
+// par.Cutoff; the candidate list is materialized in sorted order first,
+// so the result is independent of scheduling (and SortFDs canonicalizes
+// the output order regardless). TANESerial is the retained reference
+// implementation products are differentially tested against.
 func TANE(r *relation.Relation) ([]FD, error) {
+	return runTANE(r, false)
+}
+
+func runTANE(r *relation.Relation, serial bool) ([]FD, error) {
 	m := r.M()
 	if m > MaxAttrs {
 		return nil, fmt.Errorf("fd: relation has %d attributes, max %d", m, MaxAttrs)
@@ -19,100 +34,244 @@ func TANE(r *relation.Relation) ([]FD, error) {
 	if r.N() == 0 || m == 0 {
 		return nil, nil
 	}
-	t := &tane{r: r, m: m, n: r.N(), full: FullSet(m), cache: map[cplusKey]bool{}}
+	t := &tane{r: r, m: m, n: r.N(), full: FullSet(m), cache: map[cplusKey]bool{},
+		forceSerial: serial}
 	t.run()
 	SortFDs(t.out)
 	return t.out, nil
 }
 
 // partition is a stripped partition: only equivalence classes with at
-// least two tuples are kept.
+// least two tuples are kept, concatenated into one flat tuple-id slice.
+// Class i is elems[offs[i]:offs[i+1]]; offs always carries the leading
+// zero, so a partition with no stripped classes has offs == {0}. The
+// flat layout is what makes the probe-table product allocation-free: a
+// product walks two int32 slices and emits into one, with no per-class
+// slice headers to chase or grow.
 type partition struct {
-	classes [][]int32
-	size    int // total tuples in stripped classes
+	elems []int32 // tuple ids, class by class
+	offs  []int32 // len = numClasses+1, offs[0] = 0
 }
+
+func (p *partition) numClasses() int {
+	if len(p.offs) == 0 {
+		return 0
+	}
+	return len(p.offs) - 1
+}
+
+// size is the total number of tuples across stripped classes.
+func (p *partition) size() int { return len(p.elems) }
+
+// class returns the i-th stripped class (a view into elems).
+func (p *partition) class(i int) []int32 { return p.elems[p.offs[i]:p.offs[i+1]] }
 
 // errVal is e(X) = (tuples in stripped classes) − (number of classes);
 // X→A holds iff e(X) == e(X∪A).
-func (p *partition) errVal() int { return p.size - len(p.classes) }
+func (p *partition) errVal() int { return p.size() - p.numClasses() }
 
 // superkey reports whether the partition has only singleton classes.
-func (p *partition) superkey() bool { return len(p.classes) == 0 }
+func (p *partition) superkey() bool { return p.numClasses() == 0 }
 
-// singlePartition builds Π_{A} for one attribute.
-func singlePartition(r *relation.Relation, a int) *partition {
-	groups := map[int32][]int32{}
-	for t := 0; t < r.N(); t++ {
-		v := r.Value(t, a)
-		groups[v] = append(groups[v], int32(t))
+// fromClasses flattens a slice-of-slices partition (the serial reference
+// representation) into the arena layout.
+func fromClasses(classes [][]int32) *partition {
+	p := &partition{offs: make([]int32, 1, len(classes)+1)}
+	total := 0
+	for _, c := range classes {
+		total += len(c)
 	}
-	p := &partition{}
-	keys := make([]int32, 0, len(groups))
-	for v := range groups {
-		keys = append(keys, v)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, v := range keys {
-		g := groups[v]
-		if len(g) >= 2 {
-			p.classes = append(p.classes, g)
-			p.size += len(g)
-		}
+	p.elems = make([]int32, 0, total)
+	for _, c := range classes {
+		p.elems = append(p.elems, c...)
+		p.offs = append(p.offs, int32(len(p.elems)))
 	}
 	return p
+}
+
+// singlePartition builds Π_{A} for one attribute. Called once per
+// attribute, it just flattens the reference builder's output.
+func singlePartition(r *relation.Relation, a int) *partition {
+	return fromClasses(singlePartitionClasses(r, a))
 }
 
 // emptyPartition is Π_∅: one class with all tuples (stripped keeps it
 // when n ≥ 2).
 func emptyPartition(n int) *partition {
 	if n < 2 {
-		return &partition{}
+		return &partition{offs: []int32{0}}
 	}
 	all := make([]int32, n)
 	for i := range all {
 		all[i] = int32(i)
 	}
-	return &partition{classes: [][]int32{all}, size: n}
+	return &partition{elems: all, offs: []int32{0, int32(n)}}
+}
+
+// prodScratch is the reusable worker-private state behind product and
+// g3FromPartitions: a tuple→class probe table and per-class counting
+// buckets, both invalidated by generation stamps instead of O(n) clears,
+// plus an accumulation buffer for the result and a slab arena the final
+// exact-size copy is carved from. One scratch serves one goroutine; the
+// tane driver keeps one per par.ForChunk worker.
+type prodScratch struct {
+	n      int
+	tClass []int32 // b-class of tuple t, valid iff tGen[t] == gen
+	tGen   []int32
+	gen    int32
+	cnt    []int32 // tuples of the current a-class per b-class, valid iff cGen[bc] == cg
+	pos    []int32 // emit cursor per b-class within the current a-class
+	cGen   []int32
+	cg     int32
+
+	touched []int32 // b-class ids hit by the current a-class
+	elems   []int32 // result accumulation, copied out exact-size
+	offs    []int32
+
+	slab []int32 // arena backing the exact-size copies
+}
+
+func (sc *prodScratch) ensure(n int) {
+	if sc.n >= n {
+		return
+	}
+	sc.n = n
+	sc.tClass = make([]int32, n)
+	sc.tGen = make([]int32, n)
+	mc := n/2 + 1 // every stripped class has ≥ 2 tuples
+	sc.cnt = make([]int32, mc)
+	sc.pos = make([]int32, mc)
+	sc.cGen = make([]int32, mc)
+	sc.gen, sc.cg = 0, 0
+}
+
+// nextGen bumps the probe-table generation, re-zeroing on the (in
+// practice unreachable) int32 wraparound so stale stamps can never
+// alias a live generation.
+func (sc *prodScratch) nextGen() int32 {
+	if sc.gen == math.MaxInt32 {
+		for i := range sc.tGen {
+			sc.tGen[i] = 0
+		}
+		sc.gen = 0
+	}
+	sc.gen++
+	return sc.gen
+}
+
+func (sc *prodScratch) nextClassGen() int32 {
+	if sc.cg == math.MaxInt32 {
+		for i := range sc.cGen {
+			sc.cGen[i] = 0
+		}
+		sc.cg = 0
+	}
+	sc.cg++
+	return sc.cg
+}
+
+// carve copies src into a chunk of the scratch's slab arena, so the
+// hundreds of partitions a level produces share a handful of backing
+// allocations. Chunks are never freed individually; a level's partitions
+// die together when the lattice moves two levels past them, releasing
+// their slabs wholesale.
+func (sc *prodScratch) carve(src []int32) []int32 {
+	if cap(sc.slab)-len(sc.slab) < len(src) {
+		sz := 1 << 14
+		if len(src) > sz {
+			sz = len(src)
+		}
+		sc.slab = make([]int32, 0, sz)
+	}
+	n := len(sc.slab)
+	out := sc.slab[n:n : n+len(src)]
+	sc.slab = sc.slab[: n+len(src) : cap(sc.slab)]
+	return append(out, src...)
 }
 
 // product computes the stripped partition Π_{X∪Y} = Π_X · Π_Y with the
-// probe-table algorithm (linear in the stripped sizes).
-func product(a, b *partition, n int) *partition {
-	tClass := make([]int32, n)
-	for i := range tClass {
-		tClass[i] = -1
+// probe-table algorithm (linear in the stripped sizes). It reproduces
+// the serial reference productSerial exactly: within each class of a,
+// subclasses are emitted in ascending b-class order (the insertion sort
+// over the touched list replaces the reference's sorted map keys), and
+// tuples keep their a-class order. A nil scratch allocates a private
+// one — callers on a hot path pass a reused scratch and get zero
+// steady-state allocations beyond the two result copies.
+func product(a, b *partition, n int, sc *prodScratch) *partition {
+	if sc == nil {
+		sc = &prodScratch{}
 	}
-	for ci, cls := range b.classes {
-		for _, t := range cls {
-			tClass[t] = int32(ci)
+	sc.ensure(n)
+	taneProducts.Inc()
+
+	g := sc.nextGen()
+	for ci, nc := 0, b.numClasses(); ci < nc; ci++ {
+		for _, t := range b.class(ci) {
+			sc.tClass[t] = int32(ci)
+			sc.tGen[t] = g
 		}
 	}
-	res := &partition{}
-	bucket := map[int32][]int32{}
-	for _, cls := range a.classes {
-		for k := range bucket {
-			delete(bucket, k)
-		}
+
+	sc.elems = sc.elems[:0]
+	sc.offs = append(sc.offs[:0], 0)
+	for ai, na := 0, a.numClasses(); ai < na; ai++ {
+		cls := a.class(ai)
+		cg := sc.nextClassGen()
+		sc.touched = sc.touched[:0]
 		for _, t := range cls {
-			if bc := tClass[t]; bc >= 0 {
-				bucket[bc] = append(bucket[bc], t)
+			if sc.tGen[t] != g {
+				continue // singleton in b: can never join a class of ≥2
+			}
+			bc := sc.tClass[t]
+			if sc.cGen[bc] != cg {
+				sc.cGen[bc] = cg
+				sc.cnt[bc] = 0
+				sc.touched = append(sc.touched, bc)
+			}
+			sc.cnt[bc]++
+		}
+		// Ascending b-class order, as the reference emits. The touched
+		// list is tiny (subclasses of one a-class); insertion sort beats
+		// sort.Slice without allocating its closure.
+		for i := 1; i < len(sc.touched); i++ {
+			for j := i; j > 0 && sc.touched[j] < sc.touched[j-1]; j-- {
+				sc.touched[j], sc.touched[j-1] = sc.touched[j-1], sc.touched[j]
 			}
 		}
-		keys := make([]int32, 0, len(bucket))
-		for k := range bucket {
-			keys = append(keys, k)
+		// Lay out the emit cursors, then place tuples in a second pass so
+		// each subclass keeps its a-class tuple order.
+		base := int32(len(sc.elems))
+		total := int32(0)
+		for _, bc := range sc.touched {
+			if sc.cnt[bc] >= 2 {
+				sc.pos[bc] = base + total
+				total += sc.cnt[bc]
+				sc.offs = append(sc.offs, base+total)
+			} else {
+				sc.pos[bc] = -1
+			}
 		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		for _, k := range keys {
-			g := bucket[k]
-			if len(g) >= 2 {
-				cp := append([]int32(nil), g...)
-				res.classes = append(res.classes, cp)
-				res.size += len(cp)
+		if total == 0 {
+			continue
+		}
+		need := int(base + total)
+		if cap(sc.elems) < need {
+			grown := make([]int32, len(sc.elems), 2*need)
+			copy(grown, sc.elems)
+			sc.elems = grown
+		}
+		sc.elems = sc.elems[:need]
+		for _, t := range cls {
+			if sc.tGen[t] != g {
+				continue
+			}
+			if p := sc.pos[sc.tClass[t]]; p >= 0 {
+				sc.elems[p] = t
+				sc.pos[sc.tClass[t]] = p + 1
 			}
 		}
 	}
-	return res
+	return &partition{elems: sc.carve(sc.elems), offs: sc.carve(sc.offs)}
 }
 
 type levelNode struct {
@@ -121,16 +280,29 @@ type levelNode struct {
 }
 
 type tane struct {
-	r     *relation.Relation
-	m, n  int
-	full  AttrSet
-	out   []FD
+	r    *relation.Relation
+	m, n int
+	full AttrSet
+	out  []FD
+
 	cache map[cplusKey]bool
+
+	// forceSerial routes every product through the retained serial
+	// reference (TANESerial); differential tests compare whole runs.
+	forceSerial bool
+	scs         []*prodScratch // one per ForChunk worker, grown on demand
 }
 
 type cplusKey struct {
 	a int
 	y AttrSet
+}
+
+func (t *tane) scratch(w int) *prodScratch {
+	for len(t.scs) <= w {
+		t.scs = append(t.scs, &prodScratch{})
+	}
+	return t.scs[w]
 }
 
 // inCPlusByDef tests A ∈ C+(Y) from the definition
@@ -170,6 +342,7 @@ func (t *tane) run() {
 	}
 
 	for len(cur) > 0 {
+		taneLevels.Inc()
 		t.computeDependencies(cur, prev)
 		t.prune(cur)
 		next := t.generate(cur)
@@ -243,6 +416,14 @@ func (t *tane) prune(level map[AttrSet]*levelNode) {
 	}
 }
 
+// candidate is one prefix-join pair queued for a partition product. The
+// list is built in sorted-key order before any product runs, so the
+// parallel fan-out fills parts[i] slots deterministically regardless of
+// scheduling.
+type candidate struct {
+	z, x, y AttrSet
+}
+
 func (t *tane) generate(level map[AttrSet]*levelNode) map[AttrSet]*levelNode {
 	// Prefix join: sort sets; two sets combine when they share all but
 	// their largest attribute.
@@ -252,7 +433,9 @@ func (t *tane) generate(level map[AttrSet]*levelNode) map[AttrSet]*levelNode {
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 
-	next := map[AttrSet]*levelNode{}
+	var cands []candidate
+	seen := map[AttrSet]bool{}
+	work := 0
 	for i := 0; i < len(keys); i++ {
 		for j := i + 1; j < len(keys); j++ {
 			x, y := keys[i], keys[j]
@@ -261,7 +444,7 @@ func (t *tane) generate(level map[AttrSet]*levelNode) map[AttrSet]*levelNode {
 				continue
 			}
 			z := x.Union(y)
-			if _, done := next[z]; done {
+			if seen[z] {
 				continue
 			}
 			// All |Z|-1 subsets must be present at the current level.
@@ -275,8 +458,38 @@ func (t *tane) generate(level map[AttrSet]*levelNode) map[AttrSet]*levelNode {
 			if !ok {
 				continue
 			}
-			next[z] = &levelNode{part: product(level[x].part, level[y].part, t.n)}
+			seen[z] = true
+			cands = append(cands, candidate{z, x, y})
+			work += level[x].part.size() + level[y].part.size()
 		}
+	}
+
+	next := make(map[AttrSet]*levelNode, len(cands))
+	if len(cands) == 0 {
+		return next
+	}
+	parts := make([]*partition, len(cands))
+	switch {
+	case t.forceSerial:
+		for i, c := range cands {
+			parts[i] = productSerial(level[c.x].part, level[c.y].part, t.n)
+		}
+	case par.NumWorkers(len(cands), work) <= 1:
+		sc := t.scratch(0)
+		for i, c := range cands {
+			parts[i] = product(level[c.x].part, level[c.y].part, t.n, sc)
+		}
+	default:
+		t.scratch(par.NumWorkers(len(cands), work) - 1)
+		par.ForChunk(len(cands), work, func(w, lo, hi int) {
+			sc := t.scs[w]
+			for i := lo; i < hi; i++ {
+				parts[i] = product(level[cands[i].x].part, level[cands[i].y].part, t.n, sc)
+			}
+		})
+	}
+	for i, c := range cands {
+		next[c.z] = &levelNode{part: parts[i]}
 	}
 	return next
 }

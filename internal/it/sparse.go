@@ -98,6 +98,48 @@ func (v Vec) At(i int32) float64 {
 // Support returns the number of non-zero coordinates.
 func (v Vec) Support() int { return len(v) }
 
+// Gallop returns the position of the first element of idx[from:] that is
+// ≥ target (as an absolute index into idx), plus whether idx holds target
+// exactly there. It galloping-searches: doubling steps from `from`, then
+// a binary search within the final bracket. Scanning a sorted probe list
+// left to right with ascending targets therefore costs
+// O(k·log(n/k)) total for k probes into n coordinates — the kernel under
+// the sparse-DCF δI and merge scans, which probe a small support against
+// a large one far more often than the reverse.
+func Gallop(idx []int32, from int, target int32) (pos int, found bool) {
+	n := len(idx)
+	if from >= n || idx[from] >= target {
+		if from < n && idx[from] == target {
+			return from, true
+		}
+		return from, false
+	}
+	// Invariant: idx[lo] < target. Double until idx[hi] >= target or end.
+	lo, step := from, 1
+	hi := from + step
+	for hi < n && idx[hi] < target {
+		lo = hi
+		step <<= 1
+		hi = from + step
+	}
+	if hi > n {
+		hi = n
+	}
+	// Binary search in (lo, hi]: first position with idx[pos] >= target.
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if idx[mid] < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if hi < n && idx[hi] == target {
+		return hi, true
+	}
+	return hi, false
+}
+
 // Scale returns v with every mass multiplied by a (a > 0).
 func (v Vec) Scale(a float64) Vec {
 	out := make(Vec, len(v))

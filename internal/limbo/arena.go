@@ -1,0 +1,130 @@
+package limbo
+
+// arena is the Tree-owned slab allocator behind Phase 1's allocation
+// budget: DCF structs, tree nodes/entries and the sparse-sum buffers are
+// carved out of large slabs, so streaming 50k objects costs O(slabs)
+// allocations instead of O(inserts). Chunks are never freed
+// individually — a buffer outgrown by consolidation is simply abandoned
+// inside its slab (bounded waste: growth is geometric, so total carve
+// volume is a constant factor of the live size). Everything carved from
+// the arena stays reachable through it, which is fine: the arena lives
+// exactly as long as its Tree, and the DCFs the Tree hands out
+// (Tree.Leaves) are meant to outlive inserts anyway.
+//
+// The arena is single-goroutine like the Tree that owns it.
+type arena struct {
+	i32   []int32
+	f64   []float64
+	dcfs  []DCF
+	ents  []entry
+	eptrs []*entry
+	nodes []node
+}
+
+const (
+	arenaNumSlab    = 1 << 13 // numeric slab: 8192 entries
+	arenaStructSlab = 256     // struct slabs: 256 DCFs / entries / nodes
+)
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// int32s carves a zero-length chunk with capacity c.
+func (a *arena) int32s(c int) []int32 {
+	if cap(a.i32)-len(a.i32) < c {
+		a.i32 = make([]int32, 0, maxInt(arenaNumSlab, c))
+	}
+	n := len(a.i32)
+	out := a.i32[n:n : n+c]
+	a.i32 = a.i32[: n+c : cap(a.i32)]
+	return out
+}
+
+// float64s carves a zero-length chunk with capacity c.
+func (a *arena) float64s(c int) []float64 {
+	if cap(a.f64)-len(a.f64) < c {
+		a.f64 = make([]float64, 0, maxInt(arenaNumSlab, c))
+	}
+	n := len(a.f64)
+	out := a.f64[n:n : n+c]
+	a.f64 = a.f64[: n+c : cap(a.f64)]
+	return out
+}
+
+func (a *arena) dcf() *DCF {
+	if len(a.dcfs) == cap(a.dcfs) {
+		a.dcfs = make([]DCF, 0, arenaStructSlab)
+	}
+	a.dcfs = a.dcfs[:len(a.dcfs)+1]
+	return &a.dcfs[len(a.dcfs)-1]
+}
+
+func (a *arena) entry() *entry {
+	if len(a.ents) == cap(a.ents) {
+		a.ents = make([]entry, 0, arenaStructSlab)
+	}
+	a.ents = a.ents[:len(a.ents)+1]
+	return &a.ents[len(a.ents)-1]
+}
+
+func (a *arena) node() *node {
+	if len(a.nodes) == cap(a.nodes) {
+		a.nodes = make([]node, 0, arenaStructSlab)
+	}
+	a.nodes = a.nodes[:len(a.nodes)+1]
+	return &a.nodes[len(a.nodes)-1]
+}
+
+// entrySlice carves a zero-length entry-pointer slice with capacity c
+// (a node's child list; c is B+1 so the pre-split overflow never grows
+// it).
+func (a *arena) entrySlice(c int) []*entry {
+	if cap(a.eptrs)-len(a.eptrs) < c {
+		a.eptrs = make([]*entry, 0, maxInt(1024, c))
+	}
+	n := len(a.eptrs)
+	out := a.eptrs[n:n : n+c]
+	a.eptrs = a.eptrs[: n+c : cap(a.eptrs)]
+	return out
+}
+
+// newDCF builds a singleton DCF inside the arena from a preloaded
+// object context, reusing its already-computed logarithms.
+func (a *arena) newDCF(o Obj, c *objCtx) *DCF {
+	d := a.dcf()
+	d.W = o.W
+	d.wlog = c.wlog
+	d.N = 1
+	d.FirstID = o.ID
+	d.idx = append(a.int32s(len(c.idx)), c.idx...)
+	d.val = append(a.float64s(len(c.s)), c.s...)
+	d.vlog = append(a.float64s(len(c.slog)), c.slog...)
+	if o.Counts != nil {
+		d.Counts = append([]int64(nil), o.Counts...)
+	}
+	return d
+}
+
+// cloneDCF deep-copies src into the arena (the wrap step of node
+// splits).
+func (a *arena) cloneDCF(src *DCF) *DCF {
+	d := a.dcf()
+	d.W = src.W
+	d.wlog = src.wlog
+	d.N = src.N
+	d.FirstID = src.FirstID
+	d.idx = append(a.int32s(len(src.idx)), src.idx...)
+	d.val = append(a.float64s(len(src.val)), src.val...)
+	d.vlog = append(a.float64s(len(src.vlog)), src.vlog...)
+	d.tidx = append(a.int32s(len(src.tidx)), src.tidx...)
+	d.tval = append(a.float64s(len(src.tval)), src.tval...)
+	d.tvlog = append(a.float64s(len(src.tvlog)), src.tvlog...)
+	if src.Counts != nil {
+		d.Counts = append([]int64(nil), src.Counts...)
+	}
+	return d
+}

@@ -32,8 +32,8 @@ func TestNewDCFSingleton(t *testing.T) {
 	if d.W != 0.25 || d.N != 1 || d.FirstID != 7 {
 		t.Fatalf("bad singleton: %+v", d)
 	}
-	if !almostEqual(d.Sum[1], 0.125, 1e-12) || !almostEqual(d.Sum[3], 0.125, 1e-12) {
-		t.Fatalf("bad sums: %v", d.Sum)
+	if !almostEqual(d.At(1), 0.125, 1e-12) || !almostEqual(d.At(3), 0.125, 1e-12) {
+		t.Fatalf("bad sums: support=%v", d.Support())
 	}
 	cond := d.Cond()
 	if !cond.Equal(o.Cond, 1e-12) {
@@ -73,7 +73,7 @@ func TestCloneIsDeep(t *testing.T) {
 	a := NewDCF(Obj{ID: 0, W: 0.5, Cond: it.Uniform([]int32{0}), Counts: []int64{1}})
 	c := a.Clone()
 	c.AbsorbDCF(NewDCF(Obj{ID: 1, W: 0.5, Cond: it.Uniform([]int32{1}), Counts: []int64{1}}))
-	if a.W != 0.5 || a.Counts[0] != 1 || len(a.Sum) != 1 {
+	if a.W != 0.5 || a.Counts[0] != 1 || a.SupportLen() != 1 {
 		t.Fatalf("clone aliased original: %+v", a)
 	}
 }

@@ -19,4 +19,6 @@ var (
 	limboInsertSeconds = obs.Default.Histogram("structmine_limbo_insert_seconds",
 		"Phase 1 per-object insert latency, including any adaptive rebuild it triggers.",
 		obs.TimeBuckets)
+	limboScratchHighwater = obs.Default.Gauge("structmine_limbo_dcf_scratch_highwater_entries",
+		"High-water capacity (entries) of the most recently updated DCF-tree's reusable merge scratch — the resident cost of allocation-free absorption.")
 )

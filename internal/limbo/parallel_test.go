@@ -1,0 +1,142 @@
+package limbo
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"structmine/internal/it"
+)
+
+// forceParallel raises GOMAXPROCS so par takes the concurrent path even
+// on single-CPU machines (same trick as the ib package's parallel
+// tests).
+func forceParallel() func() {
+	old := runtime.GOMAXPROCS(4)
+	return func() { runtime.GOMAXPROCS(old) }
+}
+
+// wideObj builds an object with a support wide enough that the
+// closest-entry search clears par.Cutoff and actually fans out.
+func wideObj(r *rand.Rand, id int32, domain, support int, w float64) Obj {
+	seen := make(map[int32]bool, support)
+	vals := make([]int32, 0, support)
+	for len(vals) < support {
+		v := int32(r.Intn(domain))
+		if !seen[v] {
+			seen[v] = true
+			vals = append(vals, v)
+		}
+	}
+	o := Obj{ID: id, W: w, Cond: it.Uniform(vals)}
+	return o
+}
+
+// sameDCF compares every field of two DCFs bit for bit, including the
+// internal two-tier representation and its memoized logarithms. The
+// parallel and serial insert paths must agree exactly, not just within
+// tolerance.
+func sameDCF(a, b *DCF) error {
+	if a.W != b.W || a.wlog != b.wlog || a.N != b.N || a.FirstID != b.FirstID {
+		return fmt.Errorf("header differs: (%v,%v,%d,%d) vs (%v,%v,%d,%d)",
+			a.W, a.wlog, a.N, a.FirstID, b.W, b.wlog, b.N, b.FirstID)
+	}
+	if len(a.Counts) != len(b.Counts) {
+		return fmt.Errorf("counts length %d vs %d", len(a.Counts), len(b.Counts))
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			return fmt.Errorf("counts[%d] %d vs %d", i, a.Counts[i], b.Counts[i])
+		}
+	}
+	if len(a.idx) != len(b.idx) || len(a.tidx) != len(b.tidx) {
+		return fmt.Errorf("tier sizes (%d,%d) vs (%d,%d)", len(a.idx), len(a.tidx), len(b.idx), len(b.tidx))
+	}
+	for i := range a.idx {
+		if a.idx[i] != b.idx[i] || a.val[i] != b.val[i] || a.vlog[i] != b.vlog[i] {
+			return fmt.Errorf("main[%d]: (%d,%v,%v) vs (%d,%v,%v)",
+				i, a.idx[i], a.val[i], a.vlog[i], b.idx[i], b.val[i], b.vlog[i])
+		}
+	}
+	for i := range a.tidx {
+		if a.tidx[i] != b.tidx[i] || a.tval[i] != b.tval[i] || a.tvlog[i] != b.tvlog[i] {
+			return fmt.Errorf("tail[%d]: (%d,%v,%v) vs (%d,%v,%v)",
+				i, a.tidx[i], a.tval[i], a.tvlog[i], b.tidx[i], b.tval[i], b.tvlog[i])
+		}
+	}
+	return nil
+}
+
+// Property: building a tree through the normal insert path (recorded
+// probes, parallel closest-entry search when wide enough) yields leaves
+// bit-identical to the retained serial reference path, for the same
+// inputs in the same order.
+func TestPropInsertParallelMatchesSerial(t *testing.T) {
+	defer forceParallel()()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(30)
+		objs := make([]Obj, n)
+		for i := range objs {
+			// Wide supports push the closest-entry work estimate past
+			// par.Cutoff so the parallel branch really runs.
+			objs[i] = wideObj(r, int32(i), 4000, 900+r.Intn(300), 1.0/float64(n))
+		}
+		tau := Threshold(0.3, MutualInfo(objs), n)
+		cfg := Config{B: 4, Threshold: tau}
+		par := NewTree(cfg)
+		ser := NewTreeSerial(cfg)
+		for _, o := range objs {
+			par.Insert(o)
+			ser.Insert(o)
+		}
+		if err := par.Validate(); err != nil {
+			t.Logf("seed %d: parallel tree invalid: %v", seed, err)
+			return false
+		}
+		pl, sl := par.Leaves(), ser.Leaves()
+		if len(pl) != len(sl) {
+			t.Logf("seed %d: %d vs %d leaves", seed, len(pl), len(sl))
+			return false
+		}
+		for i := range pl {
+			if err := sameDCF(pl[i], sl[i]); err != nil {
+				t.Logf("seed %d leaf %d: %v", seed, i, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: absorbing an operand that carries per-attribute Counts
+// into a DCF built without them used to index past the nil Counts slice;
+// addCounts now zero-extends the destination.
+func TestAbsorbCountsIntoNilCounts(t *testing.T) {
+	plain := NewDCF(Obj{ID: 0, W: 0.5, Cond: it.Uniform([]int32{0})})
+	plain.AbsorbObj(Obj{ID: 1, W: 0.25, Cond: it.Uniform([]int32{1}), Counts: []int64{2, 3}})
+	if len(plain.Counts) != 2 || plain.Counts[0] != 2 || plain.Counts[1] != 3 {
+		t.Fatalf("AbsorbObj counts = %v, want [2 3]", plain.Counts)
+	}
+
+	plain2 := NewDCF(Obj{ID: 0, W: 0.5, Cond: it.Uniform([]int32{0})})
+	counted := NewDCF(Obj{ID: 1, W: 0.25, Cond: it.Uniform([]int32{1}), Counts: []int64{4}})
+	plain2.AbsorbDCF(counted)
+	if len(plain2.Counts) != 1 || plain2.Counts[0] != 4 {
+		t.Fatalf("AbsorbDCF counts = %v, want [4]", plain2.Counts)
+	}
+
+	// The tree insert path takes the scratch-based absorptions; mixing
+	// counted and uncounted objects must not panic there either.
+	tree := NewTree(Config{B: 4, Threshold: 1e9})
+	tree.Insert(Obj{ID: 0, W: 0.5, Cond: it.Uniform([]int32{0, 1})})
+	leaf := tree.Insert(Obj{ID: 1, W: 0.5, Cond: it.Uniform([]int32{0, 1}), Counts: []int64{7}})
+	if len(leaf.Counts) != 1 || leaf.Counts[0] != 7 {
+		t.Fatalf("tree-path counts = %v, want [7]", leaf.Counts)
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"structmine/internal/it"
+	"structmine/internal/par"
 )
 
 // Config controls Phase 1 tree construction.
@@ -22,11 +25,24 @@ type Config struct {
 	MaxLeafEntries int
 	// NumAttrs enables ADCFs carrying per-attribute counts when > 0.
 	NumAttrs int
+
+	// forceSerial routes every closest-entry search through the retained
+	// serial reference (serial.go). Settable only in-package: the
+	// determinism property tests build one tree per mode and require the
+	// results to be bit-identical.
+	forceSerial bool
 }
 
 const thresholdEps = 1e-12
 
 // Tree is the DCF-tree of Phase 1.
+//
+// A Tree is NOT safe for concurrent use: Insert threads the tree-owned
+// merge scratch (sc) and candidate-distance buffer (dist) through every
+// absorption and closest-entry search, so two concurrent Inserts would
+// race on them (and on the structural fields). Build trees from one
+// goroutine; the read-only DCFs it hands out (Leaves) are safe to share
+// afterwards.
 type Tree struct {
 	cfg         Config
 	root        *node
@@ -35,6 +51,31 @@ type Tree struct {
 	rebuilds    int
 	nodes       int // node structs in the tree (≥ 1: the root)
 	height      int // levels from root to leaves (1 for a leaf root)
+
+	// ar is the tree-owned slab allocator: DCF structs, nodes, entries
+	// and sparse-tier growth are carved from it, so a streaming build
+	// costs O(slabs) heap allocations rather than O(inserts). Everything
+	// it hands out lives as long as the Tree (rebuilds reuse it and leak
+	// the replaced structure into it until the Tree itself is dropped).
+	ar arena
+	// sc is the merge scratch every absorption on the insert path reuses;
+	// merge results are copied back into the destination DCF's own
+	// arena-grown tiers, so at steady state an insert allocates nothing.
+	sc mergeScratch
+	// dist is the reusable per-node candidate-distance buffer of the
+	// closest-entry search. Disjoint slots are written concurrently when
+	// the search runs parallel; the argmin scan is always serial.
+	dist []float64
+	// octx holds the per-insert precomputation (scaled sums and their
+	// logarithms) shared by every δI candidate of one descent, and
+	// posBuf the per-candidate probe positions the winning absorption
+	// replays — one row per entry, written concurrently by disjoint
+	// rows when the search runs parallel.
+	octx   objCtx
+	posBuf []int32
+	// scratchHW is the high-water mark of the scratch capacity, exported
+	// through the structmine_limbo_dcf_scratch_highwater_entries gauge.
+	scratchHW int
 }
 
 type node struct {
@@ -52,7 +93,19 @@ func NewTree(cfg Config) *Tree {
 	if cfg.B <= 1 {
 		cfg.B = 4
 	}
-	return &Tree{cfg: cfg, root: &node{leaf: true}, nodes: 1, height: 1}
+	t := &Tree{cfg: cfg, nodes: 1, height: 1}
+	t.sc.ar = &t.ar
+	t.root = t.newNode(true)
+	return t
+}
+
+// newNode carves a node with room for the transient B+1 overflow, so the
+// child list never reallocates.
+func (t *Tree) newNode(leaf bool) *node {
+	n := t.ar.node()
+	n.leaf = leaf
+	n.entries = t.ar.entrySlice(t.cfg.B + 1)
+	return n
 }
 
 // Threshold returns the current merge threshold (it may have grown in
@@ -83,7 +136,7 @@ func (t *Tree) Height() int { return t.height }
 func (t *Tree) Insert(o Obj) *DCF {
 	start := time.Now()
 	t.inserted++
-	leaf := t.insertDCF(NewDCF(o))
+	leaf := t.insertObj(o)
 	if t.cfg.MaxLeafEntries > 0 {
 		for t.leafEntries > t.cfg.MaxLeafEntries {
 			t.rebuild()
@@ -93,35 +146,198 @@ func (t *Tree) Insert(o Obj) *DCF {
 	limboInsertSeconds.Observe(time.Since(start).Seconds())
 	limboTreeNodes.Set(int64(t.nodes))
 	limboTreeHeight.Set(int64(t.height))
-	return leaf
-}
-
-func (t *Tree) insertDCF(d *DCF) *DCF {
-	split, e1, e2, leaf := t.insertInto(t.root, d)
-	if split {
-		t.root = &node{leaf: false, entries: []*entry{e1, e2}}
-		t.nodes++
-		t.height++
+	if hw := t.sc.capacity(); hw > t.scratchHW {
+		t.scratchHW = hw
+		limboScratchHighwater.Set(int64(hw))
 	}
 	return leaf
 }
 
-// insertInto descends to the closest leaf entry. It returns split=true
-// with the two replacement entries when the node overflowed, plus the
-// leaf DCF that received the object.
-func (t *Tree) insertInto(n *node, d *DCF) (split bool, e1, e2 *entry, leaf *DCF) {
-	if n.leaf {
+// insertObj streams an object down the tree without materializing a
+// singleton DCF: internal summaries on the routing path absorb the
+// object in place and a DCF is built (in the arena) only when the object
+// opens a new leaf entry. This is where the O(inserts) allocations of
+// the map-era Phase 1 went.
+func (t *Tree) insertObj(o Obj) *DCF {
+	t.octx.set(o)
+	if need := (t.cfg.B + 1) * len(t.octx.idx); cap(t.posBuf) < need {
+		t.posBuf = make([]int32, need)
+	}
+	split, e1, e2, leaf := t.insertIntoObj(t.root, o)
+	if split {
+		t.growRoot(e1, e2)
+	}
+	return leaf
+}
+
+// posRow returns candidate i's recorded-probe row for the current
+// object.
+func (t *Tree) posRow(i int) []int32 {
+	nc := len(t.octx.idx)
+	return t.posBuf[i*nc : (i+1)*nc]
+}
+
+// absorbRouted folds the current object into the entry the closest
+// search just ranked best: replaying the recorded probe positions on the
+// normal path, re-probing on the serial reference path (which records
+// none) — the two produce bit-identical DCF state.
+func (t *Tree) absorbRouted(e *entry, o Obj, best int) {
+	if t.cfg.forceSerial {
+		e.dcf.absorbObj(o, &t.sc)
+		return
+	}
+	e.dcf.absorbObjAt(o, &t.octx, t.posRow(best), &t.sc)
+}
+
+// insertDCF inserts a pre-built summary (the adaptive-rebuild path).
+func (t *Tree) insertDCF(d *DCF) *DCF {
+	split, e1, e2, leaf := t.insertInto(t.root, d)
+	if split {
+		t.growRoot(e1, e2)
+	}
+	return leaf
+}
+
+func (t *Tree) growRoot(e1, e2 *entry) {
+	r := t.newNode(false)
+	r.entries = append(r.entries, e1, e2)
+	t.root = r
+	t.nodes++
+	t.height++
+}
+
+// closest returns the index of the entry at minimum δI from d (first
+// strict minimum in entry order, −1 for an empty node) and the distance.
+// Above the shared cutoff the δI candidates are evaluated in parallel
+// into the tree-owned distance buffer — each candidate is a pure
+// function of two untouched DCFs, and the argmin scan runs serially in
+// entry order afterwards, so the choice is bit-identical to the retained
+// serial reference closestEntrySerial for any GOMAXPROCS.
+func (t *Tree) closest(entries []*entry, d *DCF) (int, float64) {
+	if t.cfg.forceSerial {
+		return closestEntrySerial(entries, d)
+	}
+	if len(entries) == 0 {
+		return -1, math.Inf(1)
+	}
+	// Each δI costs roughly the smaller support; d is the freshly routed
+	// summary and is almost always the smaller operand. The cutoff check
+	// lives out here so the (overwhelmingly common) serial path never
+	// constructs the parallel closure.
+	work := len(entries) * (d.SupportLen() + 1)
+	if par.NumWorkers(len(entries), work) <= 1 {
+		return closestEntrySerial(entries, d)
+	}
+	dist := t.distBuf(len(entries))
+	par.For(len(entries), work, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dist[i] = DeltaIDCF(entries[i].dcf, d)
+		}
+	})
+	return argminDist(dist)
+}
+
+// closestObj is the object-descent twin of closest, ranking candidates
+// with the preloaded object context and recording each candidate's
+// probe positions for the follow-up absorption (absorbRouted).
+func (t *Tree) closestObj(entries []*entry, o Obj) (int, float64) {
+	if t.cfg.forceSerial {
+		return closestObjSerial(entries, o)
+	}
+	if len(entries) == 0 {
+		return -1, math.Inf(1)
+	}
+	work := len(entries) * (len(o.Cond) + 1)
+	if par.NumWorkers(len(entries), work) <= 1 {
 		best, bestDist := -1, math.Inf(1)
-		for i, e := range n.entries {
-			if dist := DeltaIDCF(e.dcf, d); dist < bestDist {
+		for i, e := range entries {
+			if dist := deltaIObjCtx(e.dcf, &t.octx, t.posRow(i)); dist < bestDist {
 				best, bestDist = i, dist
 			}
 		}
+		return best, bestDist
+	}
+	dist := t.distBuf(len(entries))
+	par.For(len(entries), work, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dist[i] = deltaIObjCtx(entries[i].dcf, &t.octx, t.posRow(i))
+		}
+	})
+	return argminDist(dist)
+}
+
+func (t *Tree) distBuf(n int) []float64 {
+	if cap(t.dist) < n {
+		t.dist = make([]float64, n)
+	}
+	return t.dist[:n]
+}
+
+// argminDist returns the first strict minimum in entry order — the same
+// choice the serial reference makes, for any GOMAXPROCS.
+func argminDist(dist []float64) (int, float64) {
+	best, bestDist := -1, math.Inf(1)
+	for i, dd := range dist {
+		if dd < bestDist {
+			best, bestDist = i, dd
+		}
+	}
+	return best, bestDist
+}
+
+// insertIntoObj descends to the closest leaf entry for a raw object. It
+// returns split=true with the two replacement entries when the node
+// overflowed, plus the leaf DCF that received the object.
+func (t *Tree) insertIntoObj(n *node, o Obj) (split bool, e1, e2 *entry, leaf *DCF) {
+	if n.leaf {
+		best, bestDist := t.closestObj(n.entries, o)
 		if best >= 0 && bestDist <= t.cfg.Threshold+thresholdEps {
-			n.entries[best].dcf.AbsorbDCF(d)
+			t.absorbRouted(n.entries[best], o, best)
 			return false, nil, nil, n.entries[best].dcf
 		}
-		n.entries = append(n.entries, &entry{dcf: d})
+		e := t.ar.entry()
+		e.dcf = t.ar.newDCF(o, &t.octx)
+		n.entries = append(n.entries, e)
+		t.leafEntries++
+		if len(n.entries) > t.cfg.B {
+			s1, s2 := t.splitNode(n)
+			return true, s1, s2, e.dcf
+		}
+		return false, nil, nil, e.dcf
+	}
+
+	// The routed summary absorbs the object before the recursion, while
+	// the just-recorded probe positions are still valid; if the child
+	// ends up splitting, the pre-absorbed summary is discarded anyway
+	// (the two wrapped halves already carry the object's mass).
+	best, _ := t.closestObj(n.entries, o)
+	t.absorbRouted(n.entries[best], o, best)
+	childSplit, c1, c2, leaf := t.insertIntoObj(n.entries[best].child, o)
+	if !childSplit {
+		return false, nil, nil, leaf
+	}
+	// Replace the split child with its two halves.
+	n.entries[best] = c1
+	n.entries = append(n.entries, c2)
+	if len(n.entries) > t.cfg.B {
+		s1, s2 := t.splitNode(n)
+		return true, s1, s2, leaf
+	}
+	return false, nil, nil, leaf
+}
+
+// insertInto is the summary-descent twin of insertIntoObj, used when
+// reinserting pre-built DCFs during adaptive rebuilds.
+func (t *Tree) insertInto(n *node, d *DCF) (split bool, e1, e2 *entry, leaf *DCF) {
+	if n.leaf {
+		best, bestDist := t.closest(n.entries, d)
+		if best >= 0 && bestDist <= t.cfg.Threshold+thresholdEps {
+			n.entries[best].dcf.absorbDCF(d, &t.sc)
+			return false, nil, nil, n.entries[best].dcf
+		}
+		e := t.ar.entry()
+		e.dcf = d
+		n.entries = append(n.entries, e)
 		t.leafEntries++
 		if len(n.entries) > t.cfg.B {
 			s1, s2 := t.splitNode(n)
@@ -130,15 +346,10 @@ func (t *Tree) insertInto(n *node, d *DCF) (split bool, e1, e2 *entry, leaf *DCF
 		return false, nil, nil, d
 	}
 
-	best, bestDist := 0, math.Inf(1)
-	for i, e := range n.entries {
-		if dist := DeltaIDCF(e.dcf, d); dist < bestDist {
-			best, bestDist = i, dist
-		}
-	}
+	best, _ := t.closest(n.entries, d)
 	childSplit, c1, c2, leaf := t.insertInto(n.entries[best].child, d)
 	if !childSplit {
-		n.entries[best].dcf.AbsorbDCF(d)
+		n.entries[best].dcf.absorbDCF(d, &t.sc)
 		return false, nil, nil, leaf
 	}
 	// Replace the split child with its two halves.
@@ -165,8 +376,10 @@ func (t *Tree) splitNode(n *node) (*entry, *entry) {
 			}
 		}
 	}
-	left := &node{leaf: n.leaf, entries: []*entry{n.entries[s1]}}
-	right := &node{leaf: n.leaf, entries: []*entry{n.entries[s2]}}
+	left := t.newNode(n.leaf)
+	left.entries = append(left.entries, n.entries[s1])
+	right := t.newNode(n.leaf)
+	right.entries = append(right.entries, n.entries[s2])
 	for i, e := range n.entries {
 		if i == s1 || i == s2 {
 			continue
@@ -177,19 +390,22 @@ func (t *Tree) splitNode(n *node) (*entry, *entry) {
 			right.entries = append(right.entries, e)
 		}
 	}
-	return wrap(left), wrap(right)
+	return t.wrap(left), t.wrap(right)
 }
 
-func wrap(n *node) *entry {
+func (t *Tree) wrap(n *node) *entry {
 	var d *DCF
 	for _, e := range n.entries {
 		if d == nil {
-			d = e.dcf.Clone()
+			d = t.ar.cloneDCF(e.dcf)
 		} else {
-			d.AbsorbDCF(e.dcf)
+			d.absorbDCF(e.dcf, &t.sc)
 		}
 	}
-	return &entry{dcf: d, child: n}
+	out := t.ar.entry()
+	out.dcf = d
+	out.child = n
+	return out
 }
 
 // rebuild raises the threshold (or seeds it from the smallest observed
@@ -216,7 +432,7 @@ func (t *Tree) rebuild() {
 	} else {
 		t.cfg.Threshold *= 1.3
 	}
-	t.root = &node{leaf: true}
+	t.root = t.newNode(true)
 	t.leafEntries = 0
 	t.nodes = 1
 	t.height = 1
@@ -249,8 +465,8 @@ func (t *Tree) Leaves() []*DCF {
 
 // Validate checks structural invariants (for tests): fanout bounds,
 // leaf-entry count, the node and height bookkeeping behind the DCF-tree
-// gauges, and that every internal entry's DCF mass equals the sum of its
-// subtree's leaf masses.
+// gauges, sortedness of every DCF's sparse support, and that every
+// internal entry's DCF mass equals the sum of its subtree's leaf masses.
 func (t *Tree) Validate() error {
 	count := 0
 	nodeCount := 0
@@ -266,6 +482,11 @@ func (t *Tree) Validate() error {
 		}
 		if len(n.entries) > t.cfg.B {
 			return 0, 0, fmt.Errorf("limbo: node with %d entries exceeds B=%d", len(n.entries), t.cfg.B)
+		}
+		for _, e := range n.entries {
+			if err := validDCF(e.dcf); err != nil {
+				return 0, 0, err
+			}
 		}
 		if n.leaf {
 			w := 0.0
@@ -316,6 +537,69 @@ func (t *Tree) Validate() error {
 	}
 	if maxDepth != t.height {
 		return fmt.Errorf("limbo: height=%d but walked depth %d", t.height, maxDepth)
+	}
+	return nil
+}
+
+// validDCF checks the two-tier sorted-sparse representation invariants:
+// parallel slice lengths, strict ascending order within each tier,
+// disjoint tier supports, and exact consistency of the memoized
+// logarithms (they must be the very value xlog2 would produce, since δI
+// substitutes them for recomputation).
+func validDCF(d *DCF) error {
+	if len(d.idx) != len(d.val) || len(d.idx) != len(d.vlog) ||
+		len(d.tidx) != len(d.tval) || len(d.tidx) != len(d.tvlog) {
+		return fmt.Errorf("limbo: DCF tier length mismatch: %d/%d/%d main, %d/%d/%d tail",
+			len(d.idx), len(d.val), len(d.vlog), len(d.tidx), len(d.tval), len(d.tvlog))
+	}
+	if d.wlog != xlog2(d.W) {
+		return fmt.Errorf("limbo: DCF wlog cache stale: %v for W=%v", d.wlog, d.W)
+	}
+	for i, v := range d.val {
+		if d.vlog[i] != xlog2(v) {
+			return fmt.Errorf("limbo: DCF main vlog cache stale at %d", i)
+		}
+	}
+	for i, v := range d.tval {
+		if d.tvlog[i] != xlog2(v) {
+			return fmt.Errorf("limbo: DCF tail vlog cache stale at %d", i)
+		}
+	}
+	if d.rank != nil {
+		if len(d.idx) == 0 || int(d.idx[len(d.idx)-1]) >= len(d.rank) {
+			return fmt.Errorf("limbo: DCF rank index shorter than main tier's id range")
+		}
+		hits := 0
+		for ix, p := range d.rank {
+			if p < 0 {
+				continue
+			}
+			hits++
+			if int(p) >= len(d.idx) || d.idx[p] != int32(ix) {
+				return fmt.Errorf("limbo: DCF rank index stale at id %d", ix)
+			}
+		}
+		if hits != len(d.idx) {
+			return fmt.Errorf("limbo: DCF rank index covers %d of %d main coordinates", hits, len(d.idx))
+		}
+	}
+	for i := 1; i < len(d.idx); i++ {
+		if d.idx[i-1] >= d.idx[i] {
+			return fmt.Errorf("limbo: DCF main tier not strictly ascending at %d", i)
+		}
+	}
+	for i := 1; i < len(d.tidx); i++ {
+		if d.tidx[i-1] >= d.tidx[i] {
+			return fmt.Errorf("limbo: DCF tail tier not strictly ascending at %d", i)
+		}
+	}
+	j := 0
+	for _, ix := range d.tidx {
+		if pos, ok := it.Gallop(d.idx, j, ix); ok {
+			return fmt.Errorf("limbo: coordinate %d present in both DCF tiers", ix)
+		} else {
+			j = pos
+		}
 	}
 	return nil
 }

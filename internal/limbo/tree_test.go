@@ -219,11 +219,11 @@ func TestPropZeroPhiLeavesArePure(t *testing.T) {
 		// Purity: a leaf of N identical tuple-objects has exactly the
 		// 3-coordinate support of its row, uniform conditional.
 		for _, d := range tree.Leaves() {
-			if len(d.Sum) != 3 {
+			if d.SupportLen() != 3 {
 				return false
 			}
-			for _, v := range d.Sum {
-				if math.Abs(v-d.W/3) > 1e-9 {
+			for _, ix := range d.Support() {
+				if math.Abs(d.At(ix)-d.W/3) > 1e-9 {
 					return false
 				}
 			}

@@ -1,9 +1,10 @@
 // Package par holds the single parallel-iteration policy shared by the
 // CPU-bound inner loops of the miner: AIB candidate generation and
-// post-merge recomputation (internal/ib) and LIMBO's Phase 3 assignment
-// scan (internal/limbo). Centralizing the cutoff and chunking here keeps
-// the serial/parallel decision consistent across call sites and gives
-// tests one knob to reason about.
+// post-merge recomputation (internal/ib), LIMBO's Phase 3 assignment
+// scan and Phase 1 closest-entry search (internal/limbo), and TANE's
+// per-level partition products (internal/fd). Centralizing the cutoff
+// and chunking here keeps the serial/parallel decision consistent across
+// call sites and gives tests one knob to reason about.
 package par
 
 import (
@@ -31,6 +32,35 @@ const Cutoff = 4096
 // boundaries, which every call site in this repo does (pure per-index
 // computation into a preallocated slice).
 func For(n, work int, fn func(lo, hi int)) {
+	ForChunk(n, work, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// NumWorkers returns how many chunks ForChunk will use for the given
+// workload — the bound on the chunk index w its callback can see.
+// Callers that keep per-worker scratch state (e.g. TANE's probe tables)
+// size their scratch slice with it before fanning out, so the workers
+// only ever index, never grow, shared state.
+func NumWorkers(n, work int) int {
+	if n <= 0 {
+		return 0
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if work < Cutoff || workers < 2 {
+		return 1
+	}
+	// chunk sizes round up, so the final chunk may be folded away.
+	chunk := (n + workers - 1) / workers
+	return (n + chunk - 1) / chunk
+}
+
+// ForChunk is For with the chunk index exposed: fn(w, lo, hi) with
+// 0 ≤ w < NumWorkers(n, work) and w == lo/chunkSize. Each chunk runs on
+// its own goroutine (or the caller's, when serial), so state indexed by
+// w is worker-private for the duration of the call.
+func ForChunk(n, work int, fn func(w, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -39,7 +69,7 @@ func For(n, work int, fn func(lo, hi int)) {
 		workers = n
 	}
 	if work < Cutoff || workers < 2 {
-		fn(0, n)
+		fn(0, 0, n)
 		return
 	}
 	chunk := (n + workers - 1) / workers
@@ -50,10 +80,10 @@ func For(n, work int, fn func(lo, hi int)) {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			fn(w, lo, hi)
+		}(lo/chunk, lo, hi)
 	}
 	wg.Wait()
 }

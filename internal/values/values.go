@@ -128,7 +128,7 @@ func ClusterRelation(r *relation.Relation, phiV float64, b int) *Clustering {
 // least two tuples (clusters) and non-zero O counts in at least two
 // attributes.
 func isDuplicate(d *limbo.DCF) bool {
-	if len(d.Sum) < 2 {
+	if d.SupportLen() < 2 {
 		return false
 	}
 	attrs := 0

@@ -66,11 +66,14 @@ done < <(jq -r --slurpfile cur "$cur" '
   | [.name, (.ns_per_op | tostring), (($c[.name] // "missing") | tostring)]
   | @tsv' "$base")
 
-while IFS= read -r name; do
-  echo "benchcmp: NOTE  $name: new benchmark, no baseline"
+# Benchmarks only the new run has are informational, never a failure:
+# adding a benchmark must not break the CI bench-regression job.
+while IFS=$'\t' read -r name c; do
+  printf 'benchcmp: %-5s %-48s %14s ns/op — new (no baseline)\n' NEW "$name" "$c"
 done < <(jq -r --slurpfile base "$base" '
   ( [$base[0].benchmarks[].name] ) as $b
-  | .benchmarks[].name | select(. as $n | $b | index($n) | not)' "$cur")
+  | .benchmarks[] | select(.name as $n | $b | index($n) | not)
+  | [.name, (.ns_per_op | tostring)] | @tsv' "$cur")
 
 if [ "$fail" -ne 0 ]; then
   echo "benchcmp: FAIL — at least one benchmark regressed more than ${fail_pct}% (raise FAIL_PCT to override on a known-noisy runner)" >&2
