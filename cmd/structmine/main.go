@@ -82,6 +82,24 @@ func run(args []string) error {
 		return err
 	}
 
+	// Only flags the user actually passed become explicit task knobs, so
+	// each task's own defaults (φT 0.3 for report, ψ 0.5 for rank-fds, …)
+	// apply exactly when a knob is unset — and an explicit -psi=0 or
+	// -phit=0 survives as a real zero instead of being re-defaulted.
+	passed := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { passed[f.Name] = true })
+	knob := func(name string, v float64) *float64 {
+		if passed[name] {
+			return task.F(v)
+		}
+		return nil
+	}
+	params := structmine.TaskParams{
+		PhiT: knob("phit", *phiT), PhiV: knob("phiv", *phiV), Psi: knob("psi", *psi),
+		K: *k, Eps: knob("eps", *eps), MaxLHS: *maxLHS,
+		MinSim: knob("minsim", *minSim), Double: *double,
+	}
+
 	// With -stats every stage records itself on a trace carried by the
 	// context; the report lands on stderr so it composes with -json on
 	// stdout. In -json mode the runner's internal stage boundaries are
@@ -139,10 +157,10 @@ func run(args []string) error {
 	m := structmine.NewMiner(r, structmine.Options{PhiT: *phiT, PhiV: *phiV, Psi: *psi})
 
 	if *jsonOut {
-		res, err := m.RunTask(ctx, taskName, structmine.TaskParams{
-			PhiT: *phiT, PhiV: *phiV, Psi: *psi, K: *k,
-			Eps: *eps, MaxLHS: *maxLHS, MinSim: *minSim, Double: *double,
-		})
+		// task.Run applies the per-task defaults to unset knobs — the same
+		// normalization the structmined server runs on submitted jobs, so
+		// the CLI's -json output matches a server job byte for byte.
+		res, err := task.Run(ctx, r, taskName, params)
 		if err != nil {
 			return err
 		}

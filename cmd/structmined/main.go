@@ -18,20 +18,33 @@
 // jobs are forgotten first), and -cache-entries caps the artifact cache
 // (least recently used artifacts are evicted).
 //
-// Endpoints:
+// Passing -persist DIR makes the daemon durable: registered datasets
+// are snapshotted, completed artifacts spill to a disk cache, and
+// terminal jobs are journaled under DIR. A restarted daemon (even after
+// SIGKILL or a crash) recovers all three — datasets are listed again,
+// old job ids still answer, and identical queries are cache hits
+// without re-mining. Corrupt files found at boot are quarantined under
+// DIR/quarantine, never trusted. -fsync additionally syncs every write
+// for power-loss durability at a latency cost.
 //
-//	POST /datasets            register a dataset (raw CSV body, or JSON {"path":...} / {"name":...,"csv":...})
-//	GET  /datasets            list registered datasets
-//	GET  /datasets/{id}       one dataset with its resident statistics
-//	POST /jobs                submit a job: {"dataset":id,"task":name,"params":{...}}
-//	GET  /jobs                list jobs
-//	GET  /jobs/{id}           poll one job (queued|running|done|failed|canceled)
-//	GET  /jobs/{id}/result    fetch a completed job's artifact
-//	POST /jobs/{id}/cancel    cancel a queued or running job
-//	GET  /jobs/{id}/trace     per-stage wall-clock timings of a finished job
-//	GET  /tasks               list runnable tasks
-//	GET  /healthz             liveness, drain state, cache counters
-//	GET  /metrics             Prometheus text exposition (engine + server metrics)
+// Endpoints (canonical under /v1; the bare paths still answer but are
+// deprecated and carry a "Deprecation: true" response header):
+//
+//	POST /v1/datasets            register a dataset (raw CSV body, or JSON {"path":...} / {"name":...,"csv":...})
+//	GET  /v1/datasets            list registered datasets
+//	GET  /v1/datasets/{id}       one dataset with its resident statistics
+//	POST /v1/jobs                submit a job: {"dataset":id,"task":name,"params":{...}}
+//	GET  /v1/jobs                list jobs
+//	GET  /v1/jobs/{id}           poll one job (queued|running|done|failed|canceled)
+//	GET  /v1/jobs/{id}/result    fetch a completed job's artifact
+//	POST /v1/jobs/{id}/cancel    cancel a queued or running job
+//	GET  /v1/jobs/{id}/trace     per-stage wall-clock timings of a finished job
+//	GET  /v1/tasks               list runnable tasks
+//	GET  /v1/healthz             liveness, drain state, cache and recovery counters
+//	GET  /v1/metrics             Prometheus text exposition (engine + server + store metrics)
+//
+// Errors are uniform JSON envelopes with machine-readable codes:
+// {"error":{"code":"dataset_not_found","message":"..."}}.
 //
 // Passing -pprof additionally mounts net/http/pprof under /debug/pprof/.
 // Like the rest of the surface it is unauthenticated — only enable it on
@@ -55,6 +68,7 @@ import (
 
 	"structmine/internal/relation"
 	"structmine/internal/server"
+	"structmine/internal/store"
 )
 
 func main() {
@@ -82,8 +96,28 @@ func run(args []string, ready chan<- string) error {
 	maxJobs := fs.Int("max-jobs", 1024, "maximum retained job records (oldest finished jobs are forgotten first)")
 	cacheEntries := fs.Int("cache-entries", 512, "maximum artifact-cache entries (LRU eviction)")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (unauthenticated; loopback only)")
+	persist := fs.String("persist", "", "directory for the durable store (empty = memory only; state survives restarts and crashes)")
+	fsyncWrites := fs.Bool("fsync", false, "fsync every durable write (with -persist; survives power loss at a latency cost)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var st *store.Store
+	if *persist != "" {
+		var err error
+		st, err = store.Open(*persist, store.Options{Fsync: *fsyncWrites})
+		if err != nil {
+			return fmt.Errorf("opening durable store: %w", err)
+		}
+		defer st.Close()
+		t := st.Stats()
+		fmt.Printf("durable store %s: recovered %d datasets, %d artifacts, %d job records",
+			*persist, t.RecoveredDatasets, t.RecoveredArtifacts, t.RecoveredJobs)
+		if t.Quarantined > 0 || t.DroppedJobRecords > 0 {
+			fmt.Printf(" (quarantined %d files, dropped %d torn journal lines)",
+				t.Quarantined, t.DroppedJobRecords)
+		}
+		fmt.Println()
 	}
 
 	srv := server.New(server.Config{
@@ -97,6 +131,7 @@ func run(args []string, ready chan<- string) error {
 		MaxJobs:        *maxJobs,
 		CacheEntries:   *cacheEntries,
 		EnablePprof:    *enablePprof,
+		Store:          st,
 	})
 	for _, path := range fs.Args() {
 		ds, _, err := srv.Registry().RegisterPath(path)

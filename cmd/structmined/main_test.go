@@ -123,6 +123,137 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 }
 
+// TestDaemonPersistRestart boots a persistent daemon, runs a job,
+// stops the daemon, and boots a second one over the same store
+// directory: the dataset, the old job record, and the artifact must all
+// survive, and the identical resubmission must be a cache hit.
+func TestDaemonPersistRestart(t *testing.T) {
+	db, err := datagen.NewDB2Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	path := filepath.Join(tmp, "db2.csv")
+	if err := db.Joined.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	storeDir := filepath.Join(tmp, "state")
+
+	boot := func(args ...string) (string, chan error) {
+		ready := make(chan string, 1)
+		errc := make(chan error, 1)
+		go func() { errc <- run(args, ready) }()
+		select {
+		case addr := <-ready:
+			return "http://" + addr, errc
+		case err := <-errc:
+			t.Fatalf("daemon exited early: %v", err)
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon did not become ready")
+		}
+		return "", nil
+	}
+	stop := func(errc chan error) {
+		t.Helper()
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-errc:
+			if err != nil && !strings.Contains(err.Error(), "Server closed") {
+				t.Fatalf("daemon exit: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("daemon did not stop on SIGTERM")
+		}
+	}
+	getJSON := func(base, path string, out any) int {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// First life: register via CLI, run one job to completion.
+	base, errc := boot("-addr", "127.0.0.1:0", "-workers", "1", "-persist", storeDir, path)
+	var datasets []struct {
+		ID string `json:"id"`
+	}
+	if code := getJSON(base, "/v1/datasets", &datasets); code != http.StatusOK || len(datasets) != 1 {
+		t.Fatalf("datasets: %d (%d listed)", code, len(datasets))
+	}
+	dsID := datasets[0].ID
+	body, _ := json.Marshal(map[string]any{"dataset": dsID, "task": "mine-fds"})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var v struct{ State string }
+		getJSON(base, "/v1/jobs/"+job.ID, &v)
+		if v.State == "done" {
+			break
+		}
+		if v.State == "failed" || v.State == "canceled" || time.Now().After(deadline) {
+			t.Fatalf("job %s ended in %s", job.ID, v.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stop(errc)
+
+	// Second life over the same store: no CLI dataset this time.
+	base, errc = boot("-addr", "127.0.0.1:0", "-workers", "1", "-persist", storeDir)
+	defer stop(errc)
+
+	datasets = nil
+	if code := getJSON(base, "/v1/datasets", &datasets); code != http.StatusOK ||
+		len(datasets) != 1 || datasets[0].ID != dsID {
+		t.Fatalf("recovered datasets: %d (%+v), want %s", code, datasets, dsID)
+	}
+	var rec struct {
+		State     string `json:"state"`
+		Recovered bool   `json:"recovered"`
+	}
+	if code := getJSON(base, "/v1/jobs/"+job.ID, &rec); code != http.StatusOK ||
+		rec.State != "done" || !rec.Recovered {
+		t.Fatalf("recovered job: %d %+v", code, rec)
+	}
+	if code := getJSON(base, "/v1/jobs/"+job.ID+"/result", nil); code != http.StatusOK {
+		t.Fatalf("recovered result: %d", code)
+	}
+	resp, err = http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit struct {
+		State    string `json:"state"`
+		CacheHit bool   `json:"cache_hit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hit); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !hit.CacheHit || hit.State != "done" {
+		t.Fatalf("post-restart resubmission: %+v, want instant cache hit", hit)
+	}
+}
+
 func TestRunBadArgs(t *testing.T) {
 	if err := run([]string{"-addr", "127.0.0.1:0", "/nonexistent.csv"}, nil); err == nil {
 		t.Error("unreadable dataset path should fail startup")

@@ -26,7 +26,9 @@ import (
 
 func main() {
 	rel := datagen.NewDBLP(datagen.DBLPConfig{Tuples: 6000, Seed: 7, MiscFrac: 0.003, JournalFrac: 0.28})
-	m := structmine.NewMiner(rel, structmine.Options{PhiT: 0.5, PhiV: 1.0})
+	opts := structmine.DefaultOptions()
+	opts.PhiT, opts.PhiV = 0.5, 1.0
+	m := structmine.NewMiner(rel, opts)
 	fmt.Println(m.Describe())
 
 	// Step 1: which attributes carry (almost) no information?
@@ -62,7 +64,9 @@ func main() {
 	// Step 3: rank FDs within each partition.
 	for i, cluster := range part.Clusters {
 		sub := proj.Select(cluster)
-		sm := structmine.NewMiner(sub, structmine.Options{PhiT: 0.5, PhiV: 1.0})
+		sopts := structmine.DefaultOptions()
+		sopts.PhiT, sopts.PhiV = 0.5, 1.0
+		sm := structmine.NewMiner(sub, sopts)
 		fds, err := sm.MineFDs()
 		if err != nil {
 			log.Fatal(err)

@@ -47,7 +47,9 @@ func main() {
 	fmt.Printf("integrated relation: %d records\n\n", r.N())
 
 	for _, phiT := range []float64{0.0, 0.3, 0.6} {
-		m := structmine.NewMiner(r, structmine.Options{PhiT: phiT})
+		opts := structmine.DefaultOptions()
+		opts.PhiT = phiT
+		m := structmine.NewMiner(r, opts)
 		rep := m.FindDuplicateTuples()
 		fmt.Printf("φT = %.1f -> %d candidate groups\n", phiT, countGroups(rep))
 		for _, group := range rep.Groups {

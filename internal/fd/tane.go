@@ -184,7 +184,7 @@ func (sc *prodScratch) carve(src []int32) []int32 {
 		sc.slab = make([]int32, 0, sz)
 	}
 	n := len(sc.slab)
-	out := sc.slab[n:n : n+len(src)]
+	out := sc.slab[n : n : n+len(src)]
 	sc.slab = sc.slab[: n+len(src) : cap(sc.slab)]
 	return append(out, src...)
 }

@@ -39,7 +39,7 @@ func (a *arena) int32s(c int) []int32 {
 		a.i32 = make([]int32, 0, maxInt(arenaNumSlab, c))
 	}
 	n := len(a.i32)
-	out := a.i32[n:n : n+c]
+	out := a.i32[n : n : n+c]
 	a.i32 = a.i32[: n+c : cap(a.i32)]
 	return out
 }
@@ -50,7 +50,7 @@ func (a *arena) float64s(c int) []float64 {
 		a.f64 = make([]float64, 0, maxInt(arenaNumSlab, c))
 	}
 	n := len(a.f64)
-	out := a.f64[n:n : n+c]
+	out := a.f64[n : n : n+c]
 	a.f64 = a.f64[: n+c : cap(a.f64)]
 	return out
 }
@@ -87,7 +87,7 @@ func (a *arena) entrySlice(c int) []*entry {
 		a.eptrs = make([]*entry, 0, maxInt(1024, c))
 	}
 	n := len(a.eptrs)
-	out := a.eptrs[n:n : n+c]
+	out := a.eptrs[n : n : n+c]
 	a.eptrs = a.eptrs[: n+c : cap(a.eptrs)]
 	return out
 }

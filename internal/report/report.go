@@ -22,11 +22,16 @@ import (
 	"structmine/internal/values"
 )
 
-// Options tunes report generation.
+// Options tunes report generation. Explicit zeros for the φ knobs and
+// ψ are honored (they are meaningful settings: perfect co-occurrence
+// only, threshold disabled); callers that want the paper's defaults
+// (φT 0.3, ψ 0.5) must say so — the task layer's Normalize does exactly
+// that for unset JSON/CLI knobs. Only negative thresholds and
+// non-positive bounds are replaced.
 type Options struct {
-	// PhiT / PhiV are the clustering accuracy knobs (defaults 0.3 / 0).
+	// PhiT / PhiV are the clustering accuracy knobs.
 	PhiT, PhiV float64
-	// Psi is the FD-RANK threshold (default 0.5).
+	// Psi is the FD-RANK threshold; negative selects 0.5.
 	Psi float64
 	// MaxGroups bounds how many duplicate groups to include (default 8).
 	MaxGroups int
@@ -38,10 +43,10 @@ type Options struct {
 }
 
 func (o Options) normalized() Options {
-	if o.PhiT == 0 {
+	if o.PhiT < 0 {
 		o.PhiT = 0.3
 	}
-	if o.Psi == 0 {
+	if o.Psi < 0 {
 		o.Psi = 0.5
 	}
 	if o.MaxGroups <= 0 {

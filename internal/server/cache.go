@@ -2,8 +2,10 @@ package server
 
 import (
 	"container/list"
+	"encoding/json"
 	"sync"
 
+	"structmine/internal/store"
 	"structmine/internal/task"
 )
 
@@ -13,6 +15,12 @@ import (
 // deterministic, entries never go stale — but a long-running daemon
 // cannot keep every artifact forever, so the cache evicts
 // least-recently-used entries beyond a configured capacity.
+//
+// With a durable store attached the cache is two-tiered: every Put also
+// spills the marshaled artifact to disk, and a memory miss falls back to
+// the store before being counted as a miss. Disk hits are promoted back
+// into memory as json.RawMessage (handlers re-encode them verbatim), so
+// a warm restart answers repeated queries without re-running the miner.
 type Cache struct {
 	mu     sync.Mutex
 	m      map[string]*list.Element
@@ -20,6 +28,9 @@ type Cache struct {
 	max    int        // entry cap (0 = unlimited)
 	hits   uint64
 	misses uint64
+	disk   uint64 // hits served from the durable tier
+
+	st *store.Store // optional durable tier (nil = memory only)
 }
 
 type cacheEntry struct {
@@ -39,25 +50,81 @@ func Key(datasetHash, taskName string, p task.Params) string {
 }
 
 // Get returns the cached artifact, refreshes its recency, and counts
-// the lookup as a hit or miss.
+// the lookup as a hit or miss. On a memory miss the durable tier (when
+// attached) is consulted; a disk hit is promoted into memory.
 func (c *Cache) Get(key string) (any, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.m[key]
-	if !ok {
-		c.misses++
-		return nil, false
+	if ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		v := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return v, true
 	}
-	c.hits++
-	c.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	st := c.st
+	c.mu.Unlock()
+
+	if st != nil {
+		if raw, ok := st.GetArtifact(key); ok {
+			c.mu.Lock()
+			c.hits++
+			c.disk++
+			c.putLocked(key, raw)
+			c.mu.Unlock()
+			return raw, true
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Peek returns the artifact without touching the hit/miss counters or
+// promoting disk entries — used when serving the result of a recovered
+// job record, which is a read of existing state rather than a query.
+func (c *Cache) Peek(key string) (any, bool) {
+	c.mu.Lock()
+	el, ok := c.m[key]
+	st := c.st
+	c.mu.Unlock()
+	if ok {
+		return el.Value.(*cacheEntry).val, true
+	}
+	if st != nil {
+		if raw, ok := st.GetArtifact(key); ok {
+			return raw, true
+		}
+	}
+	return nil, false
 }
 
 // Put stores one completed artifact, evicting the least recently used
-// entries if the cache is over capacity.
+// entries if the cache is over capacity. With a durable tier attached
+// the artifact is also marshaled and spilled to disk; a spill failure
+// only costs durability (the store counts it), never the job result.
 func (c *Cache) Put(key string, v any) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.putLocked(key, v)
+	st := c.st
+	c.mu.Unlock()
+
+	if st == nil {
+		return
+	}
+	raw, ok := v.(json.RawMessage)
+	if !ok {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		raw = data
+	}
+	_ = st.PutArtifact(key, raw)
+}
+
+func (c *Cache) putLocked(key string, v any) {
 	if el, ok := c.m[key]; ok {
 		el.Value.(*cacheEntry).val = v
 		c.lru.MoveToFront(el)
@@ -77,11 +144,14 @@ type CacheStats struct {
 	Entries int    `json:"entries"`
 	Hits    uint64 `json:"hits"`
 	Misses  uint64 `json:"misses"`
+	// DiskHits counts the subset of Hits served from the durable store
+	// rather than memory (always 0 without persistence).
+	DiskHits uint64 `json:"disk_hits"`
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Entries: len(c.m), Hits: c.hits, Misses: c.misses}
+	return CacheStats{Entries: len(c.m), Hits: c.hits, Misses: c.misses, DiskHits: c.disk}
 }

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files instead of comparing against
+// them: go test ./internal/server -run Golden -update
+var updateGolden = flag.Bool("update", false, "rewrite golden contract files")
+
+// contractCSV is a tiny fixed instance, so every response body below is
+// bit-deterministic (ids are content hashes, job ids are sequential,
+// results are deterministic functions of the data).
+const contractCSV = `EmpNo,Name,Dept,City
+1,Pat,Sales,Boston
+2,Sal,Eng,Toronto
+3,Lee,Eng,Toronto
+4,Eva,Sales,Boston
+`
+
+// volatileMS zeroes wall-clock fields (trace timings) — the only
+// nondeterminism in any /v1 response body.
+var volatileMS = regexp.MustCompile(`"(start_ms|duration_ms|total_ms)": [0-9.eE+-]+`)
+
+func redactBody(body string) string {
+	return volatileMS.ReplaceAllString(body, `"$1": 0`)
+}
+
+func checkGolden(t *testing.T, name, body string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	got := redactBody(body)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s — regenerate with: go test ./internal/server -run Golden -update", path)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from its golden contract.\n--- want\n%s\n--- got\n%s", name, want, got)
+	}
+}
+
+// TestGoldenContracts pins the byte shape of every /v1 response — the
+// success payloads and the error envelope — against files under
+// testdata/golden/. A failing diff here means the wire contract
+// changed: either revert the change or consciously regenerate with
+// -update (and treat it as an API change in review).
+func TestGoldenContracts(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	do := func(name, method, path string, body any, wantStatus int) string {
+		t.Helper()
+		code, raw := doJSON(t, method, ts.URL+path, body, nil)
+		if code != wantStatus {
+			t.Fatalf("%s: %s %s = %d, want %d (%s)", name, method, path, code, wantStatus, raw)
+		}
+		checkGolden(t, name, raw)
+		return raw
+	}
+
+	// Dataset lifecycle.
+	do("dataset_register.json", "POST", "/v1/datasets?name=toy", []byte(contractCSV), http.StatusCreated)
+	do("dataset_register_again.json", "POST", "/v1/datasets?name=toy", []byte(contractCSV), http.StatusOK)
+	do("dataset_list.json", "GET", "/v1/datasets", nil, http.StatusOK)
+
+	// The id is the leading hash prefix pinned inside the register
+	// golden; re-derive it from the live response to address routes.
+	var ds Dataset
+	{
+		var list []Dataset
+		if code, body := doJSON(t, "GET", ts.URL+"/v1/datasets", nil, &list); code != http.StatusOK || len(list) != 1 {
+			t.Fatalf("list: %d %s", code, body)
+		}
+		ds = list[0]
+	}
+	do("dataset_get.json", "GET", "/v1/datasets/"+ds.ID, nil, http.StatusOK)
+	do("tasks_list.json", "GET", "/v1/tasks", nil, http.StatusOK)
+
+	// Job lifecycle: submit → poll → result → trace → cancel(done).
+	do("job_submit.json", "POST", "/v1/jobs",
+		submitRequest{Dataset: ds.ID, Task: "describe"}, http.StatusAccepted)
+	if got := waitJob(t, ts, "job-000001"); got.State != StateDone {
+		t.Fatalf("job state = %s (%s)", got.State, got.Error)
+	}
+	do("job_get.json", "GET", "/v1/jobs/job-000001", nil, http.StatusOK)
+	do("job_result.json", "GET", "/v1/jobs/job-000001/result", nil, http.StatusOK)
+	do("job_trace.json", "GET", "/v1/jobs/job-000001/trace", nil, http.StatusOK)
+	do("job_cancel_done.json", "POST", "/v1/jobs/job-000001/cancel", nil, http.StatusOK)
+	do("job_submit_cached.json", "POST", "/v1/jobs",
+		submitRequest{Dataset: ds.ID, Task: "describe"}, http.StatusOK)
+	do("job_list.json", "GET", "/v1/jobs", nil, http.StatusOK)
+
+	// Liveness.
+	do("healthz.json", "GET", "/v1/healthz", nil, http.StatusOK)
+
+	// The error envelope, one golden per code reachable determinately.
+	do("err_dataset_not_found.json", "GET", "/v1/datasets/nope", nil, http.StatusNotFound)
+	do("err_job_not_found.json", "GET", "/v1/jobs/nope", nil, http.StatusNotFound)
+	do("err_unknown_task.json", "POST", "/v1/jobs",
+		submitRequest{Dataset: ds.ID, Task: "no-such-task"}, http.StatusBadRequest)
+	do("err_task_not_runnable.json", "POST", "/v1/jobs",
+		submitRequest{Dataset: ds.ID, Task: "joins"}, http.StatusBadRequest)
+	do("err_bad_request.json", "POST", "/v1/jobs",
+		submitRequest{Task: "describe"}, http.StatusBadRequest)
+	do("err_path_forbidden.json", "POST", "/v1/datasets",
+		registerRequest{Path: "x.csv"}, http.StatusForbidden)
+	do("err_invalid_dataset.json", "POST", "/v1/datasets?name=bad",
+		[]byte("A,A\n1,2\n"), http.StatusBadRequest)
+	do("err_body_too_large.json", "POST", "/v1/jobs",
+		[]byte(`{"dataset":"`+strings.Repeat("x", maxJobBodyBytes+1)+`"}`),
+		http.StatusRequestEntityTooLarge)
+}

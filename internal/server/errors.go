@@ -1,0 +1,101 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Typed submission and registration errors. Handlers map them to HTTP
+// statuses and machine-readable envelope codes with errors.Is, so new
+// call sites cannot drift from the wire contract by matching message
+// substrings.
+var (
+	// ErrUnknownDataset reports a dataset id/hash that is not registered.
+	ErrUnknownDataset = errors.New("server: unknown dataset")
+	// ErrUnknownJob reports a job id that is not retained.
+	ErrUnknownJob = errors.New("server: unknown job")
+	// ErrUnknownTask reports a task name outside the catalogue.
+	ErrUnknownTask = errors.New("server: unknown task")
+	// ErrTaskNotRunnable reports a catalogued task that cannot run as a
+	// server job (multi-file tasks).
+	ErrTaskNotRunnable = errors.New("server: task cannot run as a job")
+	// ErrStoreWrite reports that durable persistence of new state failed;
+	// the mutation is rolled back rather than left memory-only.
+	ErrStoreWrite = errors.New("server: durable store write failed")
+)
+
+// Error envelope codes — the machine-readable half of every error
+// response. These are API contract: clients switch on them, so existing
+// codes must never change meaning.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeInvalidDataset  = "invalid_dataset"
+	CodeDatasetNotFound = "dataset_not_found"
+	CodeDatasetLimit    = "dataset_limit"
+	CodeJobNotFound     = "job_not_found"
+	CodeJobRunning      = "job_running"
+	CodeJobNotDone      = "job_not_done"
+	CodeUnknownTask     = "unknown_task"
+	CodeTaskNotRunnable = "task_not_runnable"
+	CodeQueueFull       = "queue_full"
+	CodeBodyTooLarge    = "body_too_large"
+	CodeDraining        = "draining"
+	CodePathForbidden   = "path_forbidden"
+	CodeStoreWrite      = "store_write_failed"
+)
+
+// apiError is the wire shape of one error.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// apiErrorBody is the envelope: {"error":{"code":...,"message":...}}.
+type apiErrorBody struct {
+	Error apiError `json:"error"`
+}
+
+// writeAPIErr renders the error envelope.
+func writeAPIErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(apiErrorBody{Error: apiError{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// errStatus maps a typed error to its HTTP status and envelope code.
+// Unrecognized errors fall back to 400 bad_request (every 5xx condition
+// has a sentinel).
+func errStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrUnknownDataset):
+		return http.StatusNotFound, CodeDatasetNotFound
+	case errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound, CodeJobNotFound
+	case errors.Is(err, ErrUnknownTask):
+		return http.StatusBadRequest, CodeUnknownTask
+	case errors.Is(err, ErrTaskNotRunnable):
+		return http.StatusBadRequest, CodeTaskNotRunnable
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, CodeQueueFull
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, CodeDraining
+	case errors.Is(err, ErrDatasetLimit):
+		return http.StatusTooManyRequests, CodeDatasetLimit
+	case errors.Is(err, ErrStoreWrite):
+		return http.StatusInsufficientStorage, CodeStoreWrite
+	case errors.Is(err, ErrPathRegistrationDisabled):
+		return http.StatusForbidden, CodePathForbidden
+	default:
+		return http.StatusBadRequest, CodeBadRequest
+	}
+}
+
+// writeErrFor renders the envelope for a typed error.
+func writeErrFor(w http.ResponseWriter, err error) {
+	status, code := errStatus(err)
+	writeAPIErr(w, status, code, "%v", err)
+}

@@ -3,7 +3,6 @@ package server
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"net/http/pprof"
@@ -29,18 +28,30 @@ func (s *Server) routes() {
 			latency.Observe(time.Since(start).Seconds())
 		})
 	}
-	handle("POST /datasets", s.handleRegisterDataset)
-	handle("GET /datasets", s.handleListDatasets)
-	handle("GET /datasets/{id}", s.handleGetDataset)
-	handle("POST /jobs", s.handleSubmitJob)
-	handle("GET /jobs", s.handleListJobs)
-	handle("GET /jobs/{id}", s.handleGetJob)
-	handle("GET /jobs/{id}/result", s.handleJobResult)
-	handle("GET /jobs/{id}/trace", s.handleJobTrace)
-	handle("POST /jobs/{id}/cancel", s.handleCancelJob)
-	handle("GET /healthz", s.handleHealthz)
-	handle("GET /tasks", s.handleListTasks)
-	handle("GET /metrics", s.handleMetrics)
+	// api mounts one endpoint twice: the canonical /v1 route, and the
+	// pre-versioning alias at the bare path. The alias serves the exact
+	// same payload but answers with a "Deprecation: true" header so
+	// clients can migrate; each registration keeps its own metrics route
+	// label. New endpoints are added under /v1 only.
+	api := func(method, path string, h http.HandlerFunc) {
+		handle(method+" /v1"+path, h)
+		handle(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			h(w, r)
+		})
+	}
+	api("POST", "/datasets", s.handleRegisterDataset)
+	api("GET", "/datasets", s.handleListDatasets)
+	api("GET", "/datasets/{id}", s.handleGetDataset)
+	api("POST", "/jobs", s.handleSubmitJob)
+	api("GET", "/jobs", s.handleListJobs)
+	api("GET", "/jobs/{id}", s.handleGetJob)
+	api("GET", "/jobs/{id}/result", s.handleJobResult)
+	api("GET", "/jobs/{id}/trace", s.handleJobTrace)
+	api("POST", "/jobs/{id}/cancel", s.handleCancelJob)
+	api("GET", "/healthz", s.handleHealthz)
+	api("GET", "/tasks", s.handleListTasks)
+	api("GET", "/metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -58,17 +69,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
-}
-
-// registerRequest is the JSON form of POST /datasets. Alternatively the
-// body may be the CSV itself (Content-Type text/csv) with the dataset
-// name in the ?name= query parameter.
+// registerRequest is the JSON form of POST /v1/datasets. Alternatively
+// the body may be the CSV itself (Content-Type text/csv) with the
+// dataset name in the ?name= query parameter.
 type registerRequest struct {
 	// Path registers a CSV readable from the server's filesystem.
 	Path string `json:"path,omitempty"`
@@ -80,16 +83,17 @@ type registerRequest struct {
 
 func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 	if s.jobs.Draining() {
-		writeErr(w, http.StatusServiceUnavailable, "shutting down")
+		writeErrFor(w, ErrDraining)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxUploadBytes+1))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		writeAPIErr(w, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
 		return
 	}
 	if int64(len(body)) > s.cfg.MaxUploadBytes {
-		writeErr(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", s.cfg.MaxUploadBytes)
+		writeAPIErr(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+			"upload exceeds %d bytes", s.cfg.MaxUploadBytes)
 		return
 	}
 
@@ -100,7 +104,7 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 	case strings.HasPrefix(ct, "application/json"):
 		var req registerRequest
 		if err := json.Unmarshal(body, &req); err != nil {
-			writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+			writeAPIErr(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 			return
 		}
 		switch {
@@ -108,29 +112,31 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 			var resolved string
 			resolved, err = s.resolveDataPath(req.Path)
 			if err != nil {
-				writeErr(w, http.StatusForbidden, "%v", err)
+				writeAPIErr(w, http.StatusForbidden, CodePathForbidden, "%v", err)
 				return
 			}
 			ds, created, err = s.reg.RegisterPath(resolved)
 		case req.CSV != "":
 			ds, created, err = s.reg.RegisterCSV(req.Name, "upload", []byte(req.CSV))
 		default:
-			writeErr(w, http.StatusBadRequest, "request needs either \"path\" or \"csv\"")
+			writeAPIErr(w, http.StatusBadRequest, CodeBadRequest,
+				"request needs either \"path\" or \"csv\"")
 			return
 		}
 	default: // raw CSV upload
 		if len(body) == 0 {
-			writeErr(w, http.StatusBadRequest, "empty CSV body")
+			writeAPIErr(w, http.StatusBadRequest, CodeBadRequest, "empty CSV body")
 			return
 		}
 		ds, created, err = s.reg.RegisterCSV(r.URL.Query().Get("name"), "upload", body)
 	}
 	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, ErrDatasetLimit) {
-			code = http.StatusTooManyRequests
+		switch {
+		case errors.Is(err, ErrDatasetLimit), errors.Is(err, ErrStoreWrite):
+			writeErrFor(w, err)
+		default:
+			writeAPIErr(w, http.StatusBadRequest, CodeInvalidDataset, "registering dataset: %v", err)
 		}
-		writeErr(w, code, "registering dataset: %v", err)
 		return
 	}
 	code := http.StatusOK
@@ -147,20 +153,21 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	ds, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown dataset %q", r.PathValue("id"))
+		writeAPIErr(w, http.StatusNotFound, CodeDatasetNotFound,
+			"unknown dataset %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, ds)
 }
 
-// submitRequest is the JSON form of POST /jobs.
+// submitRequest is the JSON form of POST /v1/jobs.
 type submitRequest struct {
 	Dataset string      `json:"dataset"`
 	Task    string      `json:"task"`
 	Params  task.Params `json:"params"`
 }
 
-// maxJobBodyBytes bounds POST /jobs request bodies; submissions are
+// maxJobBodyBytes bounds POST /v1/jobs request bodies; submissions are
 // small JSON documents, far below dataset uploads.
 const maxJobBodyBytes = 1 << 20
 
@@ -169,30 +176,21 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBodyBytes)).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeErr(w, http.StatusRequestEntityTooLarge, "job submission exceeds %d bytes", tooBig.Limit)
+			writeAPIErr(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				"job submission exceeds %d bytes", tooBig.Limit)
 			return
 		}
-		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeAPIErr(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}
 	if req.Dataset == "" || req.Task == "" {
-		writeErr(w, http.StatusBadRequest, "request needs \"dataset\" and \"task\"")
+		writeAPIErr(w, http.StatusBadRequest, CodeBadRequest,
+			"request needs \"dataset\" and \"task\"")
 		return
 	}
 	view, err := s.jobs.Submit(req.Dataset, req.Task, req.Params)
-	switch {
-	case errors.Is(err, ErrDraining):
-		writeErr(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case errors.Is(err, ErrQueueFull):
-		writeErr(w, http.StatusTooManyRequests, "%v", err)
-		return
-	case err != nil:
-		code := http.StatusBadRequest
-		if strings.Contains(err.Error(), "unknown dataset") {
-			code = http.StatusNotFound
-		}
-		writeErr(w, code, "%v", err)
+	if err != nil {
+		writeErrFor(w, err)
 		return
 	}
 	if view.State == StateDone { // served from the artifact cache
@@ -209,7 +207,8 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	view, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeAPIErr(w, http.StatusNotFound, CodeJobNotFound,
+			"unknown job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
@@ -224,7 +223,8 @@ type jobResult struct {
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	res, view, ok := s.jobs.Result(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeAPIErr(w, http.StatusNotFound, CodeJobNotFound,
+			"unknown job %q", r.PathValue("id"))
 		return
 	}
 	switch view.State {
@@ -233,8 +233,8 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	case StateFailed, StateCanceled:
 		writeJSON(w, http.StatusConflict, jobResult{Job: view})
 	default:
-		writeErr(w, http.StatusConflict, "job %s is %s; poll GET /jobs/%s until done",
-			view.ID, view.State, view.ID)
+		writeAPIErr(w, http.StatusConflict, CodeJobRunning,
+			"job %s is %s; poll GET /v1/jobs/%s until done", view.ID, view.State, view.ID)
 	}
 }
 
@@ -247,12 +247,13 @@ type jobTrace struct {
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	rep, view, ok := s.jobs.Trace(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeAPIErr(w, http.StatusNotFound, CodeJobNotFound,
+			"unknown job %q", r.PathValue("id"))
 		return
 	}
 	if !view.State.Terminal() {
-		writeErr(w, http.StatusConflict, "job %s is %s; its trace is available once it finishes",
-			view.ID, view.State)
+		writeAPIErr(w, http.StatusConflict, CodeJobRunning,
+			"job %s is %s; its trace is available once it finishes", view.ID, view.State)
 		return
 	}
 	writeJSON(w, http.StatusOK, jobTrace{Job: view, Trace: rep})
@@ -260,7 +261,7 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves the Prometheus text exposition: the process-wide
 // engine metrics (AIB, LIMBO, pipeline stages) followed by this server's
-// own request, job, cache, and dataset metrics.
+// own request, job, cache, dataset, and durable-store metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := obs.Default.WriteText(w); err != nil {
@@ -272,7 +273,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	view, ok := s.jobs.Cancel(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeAPIErr(w, http.StatusNotFound, CodeJobNotFound,
+			"unknown job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
@@ -280,21 +282,41 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 
 // healthz is the liveness and stats payload.
 type healthz struct {
-	Status   string     `json:"status"`
-	Draining bool       `json:"draining"`
-	Datasets int        `json:"datasets"`
-	Jobs     int        `json:"jobs"`
-	Cache    CacheStats `json:"cache"`
+	Status   string      `json:"status"`
+	Draining bool        `json:"draining"`
+	Datasets int         `json:"datasets"`
+	Jobs     int         `json:"jobs"`
+	Cache    CacheStats  `json:"cache"`
+	Store    *storeStats `json:"store,omitempty"`
+}
+
+// storeStats is the healthz summary of the durable store (present only
+// when the server runs with persistence).
+type storeStats struct {
+	RecoveredDatasets int `json:"recovered_datasets"`
+	RecoveredJobs     int `json:"recovered_jobs"`
+	RecoveredArts     int `json:"recovered_artifacts"`
+	DroppedJobRecords int `json:"dropped_job_records"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthz{
+	h := healthz{
 		Status:   "ok",
 		Draining: s.jobs.Draining(),
 		Datasets: s.reg.Len(),
 		Jobs:     len(s.jobs.List()),
 		Cache:    s.cache.Stats(),
-	})
+	}
+	if st := s.cfg.Store; st != nil {
+		t := st.Stats()
+		h.Store = &storeStats{
+			RecoveredDatasets: t.RecoveredDatasets,
+			RecoveredJobs:     t.RecoveredJobs,
+			RecoveredArts:     t.RecoveredArtifacts,
+			DroppedJobRecords: t.DroppedJobRecords,
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {

@@ -2,12 +2,14 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"structmine/internal/obs"
+	"structmine/internal/store"
 	"structmine/internal/task"
 )
 
@@ -29,7 +31,8 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
-// Submission errors the handlers map to HTTP statuses.
+// Submission errors the handlers map to HTTP statuses (see errors.go
+// for the full catalogue).
 var (
 	ErrDraining  = errors.New("server: shutting down, not accepting jobs")
 	ErrQueueFull = errors.New("server: job queue is full")
@@ -38,17 +41,19 @@ var (
 // Job is one asynchronous task execution. Mutable fields are guarded by
 // the Runner's mutex; JobView snapshots them for handlers.
 type Job struct {
-	id      string
-	dataset *Dataset
-	task    string
-	params  task.Params
-	key     string // artifact-cache key
+	id        string
+	datasetID string
+	dataset   *Dataset // nil for records recovered from the journal
+	task      string
+	params    task.Params
+	key       string // artifact-cache key
 
-	state    State
-	errMsg   string
-	cacheHit bool
-	result   any
-	trace    obs.TraceReport // per-stage timings, filled when the job terminates
+	state     State
+	errMsg    string
+	cacheHit  bool
+	recovered bool
+	result    any
+	trace     obs.TraceReport // per-stage timings, filled when the job terminates
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -64,22 +69,43 @@ type JobView struct {
 	State    State       `json:"state"`
 	Error    string      `json:"error,omitempty"`
 	CacheHit bool        `json:"cache_hit"`
+	// Recovered marks a record replayed from the durable journal after a
+	// restart rather than executed by this process.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 func (j *Job) viewLocked() JobView {
 	return JobView{
-		ID: j.id, Dataset: j.dataset.ID, Task: j.task, Params: j.params,
-		State: j.state, Error: j.errMsg, CacheHit: j.cacheHit,
+		ID: j.id, Dataset: j.datasetID, Task: j.task, Params: j.params,
+		State: j.state, Error: j.errMsg, CacheHit: j.cacheHit, Recovered: j.recovered,
 	}
+}
+
+// jobRecord is the journal line written for every terminal job — enough
+// to reconstruct the JobView and re-address the artifact after a
+// restart. The shape is persisted state: fields may be added, never
+// renamed or repurposed.
+type jobRecord struct {
+	ID       string      `json:"id"`
+	Dataset  string      `json:"dataset"`
+	Task     string      `json:"task"`
+	Params   task.Params `json:"params"`
+	Key      string      `json:"key"`
+	State    State       `json:"state"`
+	Error    string      `json:"error,omitempty"`
+	CacheHit bool        `json:"cache_hit"`
 }
 
 // Runner executes jobs on a bounded worker pool and records their
 // lifecycle. Artifacts of completed jobs go to the cache; a submission
 // whose artifact is already cached completes instantly without touching
-// the pool.
+// the pool. With a durable store attached, every terminal transition is
+// appended to the job journal so a restarted server still answers polls
+// for pre-restart job ids.
 type Runner struct {
 	reg     *Registry
 	cache   *Cache
+	st      *store.Store // optional journal (nil = memory only)
 	timeout time.Duration
 	retain  int // max job records kept; oldest terminal jobs beyond it are dropped
 
@@ -100,8 +126,9 @@ type Runner struct {
 // depth `depth`. Each job gets `timeout` of wall clock (0 = unlimited).
 // At most `retain` job records are kept (0 = unlimited): once exceeded,
 // the oldest terminal jobs are forgotten — their artifacts stay in the
-// cache, but polling the job id yields 404.
-func NewRunner(reg *Registry, cache *Cache, workers, depth int, timeout time.Duration, retain int) *Runner {
+// cache, but polling the job id yields 404. A non-nil st journals every
+// terminal job.
+func NewRunner(reg *Registry, cache *Cache, st *store.Store, workers, depth int, timeout time.Duration, retain int) *Runner {
 	if workers < 1 {
 		workers = 1
 	}
@@ -110,7 +137,7 @@ func NewRunner(reg *Registry, cache *Cache, workers, depth int, timeout time.Dur
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Runner{
-		reg: reg, cache: cache, timeout: timeout, retain: retain,
+		reg: reg, cache: cache, st: st, timeout: timeout, retain: retain,
 		baseCtx: ctx, baseCancel: cancel,
 		jobs: map[string]*Job{}, queue: make(chan *Job, depth),
 	}
@@ -121,6 +148,63 @@ func NewRunner(reg *Registry, cache *Cache, workers, depth int, timeout time.Dur
 	return q
 }
 
+// recordLocked marshals the job's journal line. The caller holds q.mu;
+// the append itself happens outside the lock (file IO, possibly fsync).
+func (j *Job) recordLocked() []byte {
+	data, err := json.Marshal(jobRecord{
+		ID: j.id, Dataset: j.datasetID, Task: j.task, Params: j.params,
+		Key: j.key, State: j.state, Error: j.errMsg, CacheHit: j.cacheHit,
+	})
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// journal appends one terminal job record to the durable journal. A
+// failed append costs restart visibility of this record, never the
+// response; the store counts the error.
+func (q *Runner) journal(record []byte) {
+	if q.st == nil || record == nil {
+		return
+	}
+	_ = q.st.AppendJob(record)
+}
+
+// Preload replays journal records recovered by the store: terminal jobs
+// from previous runs become poll-able records again, and the id
+// sequence resumes past the highest recovered id so new jobs never
+// collide with journaled ones. Call before serving requests.
+func (q *Runner) Preload(records [][]byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, rec := range records {
+		var jr jobRecord
+		if json.Unmarshal(rec, &jr) != nil || jr.ID == "" || !jr.State.Terminal() {
+			continue
+		}
+		if _, ok := q.jobs[jr.ID]; ok {
+			continue
+		}
+		done := make(chan struct{})
+		close(done)
+		job := &Job{
+			id: jr.ID, datasetID: jr.Dataset, task: jr.Task, params: jr.Params,
+			key: jr.Key, state: jr.State, errMsg: jr.Error, cacheHit: jr.CacheHit,
+			recovered: true,
+			trace:     obs.TraceReport{Stages: []obs.StageTiming{}},
+			cancel:    func() {}, done: done,
+		}
+		q.jobs[jr.ID] = job
+		q.order = append(q.order, jr.ID)
+		var n int
+		if _, err := fmt.Sscanf(jr.ID, "job-%d", &n); err == nil && n > q.seq {
+			q.seq = n
+		}
+	}
+	q.pruneLocked()
+}
+
 // Submit validates and enqueues one job. When the artifact cache already
 // holds the result of an identical query against the same dataset
 // content, the returned job is already done with CacheHit set and no
@@ -128,26 +212,27 @@ func NewRunner(reg *Registry, cache *Cache, workers, depth int, timeout time.Dur
 func (q *Runner) Submit(datasetID, taskName string, p task.Params) (JobView, error) {
 	spec, ok := task.Lookup(taskName)
 	if !ok {
-		return JobView{}, fmt.Errorf("server: unknown task %q", taskName)
+		return JobView{}, fmt.Errorf("%w %q", ErrUnknownTask, taskName)
 	}
 	if spec.MultiFile {
-		return JobView{}, fmt.Errorf("server: task %q operates on several files and cannot run as a job", taskName)
+		return JobView{}, fmt.Errorf("%w: task %q operates on several files", ErrTaskNotRunnable, taskName)
 	}
 	ds, ok := q.reg.Get(datasetID)
 	if !ok {
-		return JobView{}, fmt.Errorf("server: unknown dataset %q", datasetID)
+		return JobView{}, fmt.Errorf("%w %q", ErrUnknownDataset, datasetID)
 	}
 	p = p.Normalize(taskName)
 
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.draining {
+		q.mu.Unlock()
 		return JobView{}, ErrDraining
 	}
 	q.seq++
 	ctx, cancel := context.WithCancel(q.baseCtx)
 	job := &Job{
-		id: fmt.Sprintf("job-%06d", q.seq), dataset: ds, task: taskName, params: p,
+		id: fmt.Sprintf("job-%06d", q.seq), datasetID: ds.ID, dataset: ds,
+		task: taskName, params: p,
 		key: Key(ds.Hash, taskName, p), state: StateQueued,
 		trace: obs.TraceReport{Stages: []obs.StageTiming{}},
 		ctx:   ctx, cancel: cancel, done: make(chan struct{}),
@@ -161,18 +246,24 @@ func (q *Runner) Submit(datasetID, taskName string, p task.Params) (JobView, err
 		q.jobs[job.id] = job
 		q.order = append(q.order, job.id)
 		q.pruneLocked()
-		return job.viewLocked(), nil
+		view, rec := job.viewLocked(), job.recordLocked()
+		q.mu.Unlock()
+		q.journal(rec)
+		return view, nil
 	}
 	select {
 	case q.queue <- job:
 	default:
 		cancel()
+		q.mu.Unlock()
 		return JobView{}, ErrQueueFull
 	}
 	q.jobs[job.id] = job
 	q.order = append(q.order, job.id)
 	q.pruneLocked()
-	return job.viewLocked(), nil
+	view := job.viewLocked()
+	q.mu.Unlock()
+	return view, nil
 }
 
 // pruneLocked drops the oldest terminal job records once the retention
@@ -244,7 +335,9 @@ func (q *Runner) run(job *Job) {
 	}
 	close(job.done)
 	q.pruneLocked()
+	rec := job.recordLocked()
 	q.mu.Unlock()
+	q.journal(rec)
 	job.cancel()
 }
 
@@ -285,15 +378,26 @@ func (q *Runner) StateCounts() map[State]int {
 	return out
 }
 
-// Result returns the job's artifact once it is done.
+// Result returns the job's artifact once it is done. A done job
+// recovered from the journal carries no in-memory result; its artifact
+// is re-read from the cache (memory or durable tier) by key.
 func (q *Runner) Result(id string) (any, JobView, bool) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	job, ok := q.jobs[id]
 	if !ok {
+		q.mu.Unlock()
 		return nil, JobView{}, false
 	}
-	return job.result, job.viewLocked(), true
+	res := job.result
+	view := job.viewLocked()
+	key := job.key
+	q.mu.Unlock()
+	if res == nil && view.State == StateDone {
+		if v, ok := q.cache.Peek(key); ok {
+			res = v
+		}
+	}
+	return res, view, true
 }
 
 // List returns snapshots of every job in submission order.
@@ -316,13 +420,16 @@ func (q *Runner) Cancel(id string) (JobView, bool) {
 		q.mu.Unlock()
 		return JobView{}, false
 	}
+	var rec []byte
 	if job.state == StateQueued {
 		job.state = StateCanceled
 		job.errMsg = "canceled before execution"
 		close(job.done)
+		rec = job.recordLocked()
 	}
 	view := job.viewLocked()
 	q.mu.Unlock()
+	q.journal(rec)
 	job.cancel()
 	return view, true
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"structmine/internal/relation"
+	"structmine/internal/store"
 	"structmine/internal/task"
 )
 
@@ -53,6 +54,11 @@ type Registry struct {
 	alias  map[string]string // short id → full hash
 	lim    relation.Limits
 	max    int // resident-dataset cap (0 = unlimited)
+
+	// st, when non-nil, makes registration durable: a dataset snapshot
+	// is written before the relation becomes resident, so a restarted
+	// server re-adopts it without re-parsing the CSV.
+	st *store.Store
 }
 
 // shortIDLen is the initial alias length: 12 hex digits of SHA-256.
@@ -118,9 +124,42 @@ func (g *Registry) RegisterCSV(name, source string, data []byte) (ds *Dataset, c
 		ID: g.assignIDLocked(hash), Name: name, Hash: hash, Source: source,
 		Bytes: int64(len(data)), Summary: summary, rel: rel,
 	}
+	// Durability before residency: if the snapshot cannot be written the
+	// registration fails outright, so the server never carries datasets a
+	// restart would silently forget.
+	if g.st != nil {
+		meta := store.DatasetMeta{Hash: hash, Name: name, Source: source, Bytes: int64(len(data))}
+		if err := g.st.SaveDataset(meta, rel); err != nil {
+			return nil, false, fmt.Errorf("%w: %v", ErrStoreWrite, err)
+		}
+	}
 	g.byHash[hash] = ds
 	g.alias[ds.ID] = hash
 	return ds, true, nil
+}
+
+// Adopt makes a dataset recovered from the durable store resident
+// without re-writing its snapshot. Instance statistics are recomputed
+// from the decoded relation. Already-resident content is returned as
+// is; the resident cap still applies (a nil return means the snapshot
+// stays on disk but is not adopted).
+func (g *Registry) Adopt(meta store.DatasetMeta, rel *relation.Relation) *Dataset {
+	summary := task.Describe(rel)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if prior, ok := g.byHash[meta.Hash]; ok {
+		return prior
+	}
+	if g.max > 0 && len(g.byHash) >= g.max {
+		return nil
+	}
+	ds := &Dataset{
+		ID: g.assignIDLocked(meta.Hash), Name: meta.Name, Hash: meta.Hash,
+		Source: meta.Source, Bytes: meta.Bytes, Summary: summary, rel: rel,
+	}
+	g.byHash[meta.Hash] = ds
+	g.alias[ds.ID] = meta.Hash
+	return ds
 }
 
 // RegisterPath reads a CSV file from the server's filesystem and

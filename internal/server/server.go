@@ -27,6 +27,7 @@ import (
 
 	"structmine/internal/obs"
 	"structmine/internal/relation"
+	"structmine/internal/store"
 )
 
 // ErrPathRegistrationDisabled reports that {"path":...} registration
@@ -69,6 +70,13 @@ type Config struct {
 	// default: the profiling surface is unauthenticated, so it should
 	// only be exposed deliberately (the daemon's -pprof flag).
 	EnablePprof bool
+	// Store, when non-nil, makes the server durable: dataset snapshots
+	// are written before a registration is acknowledged, completed
+	// artifacts spill to disk, terminal jobs are journaled, and New
+	// replays all three so a restarted server answers for its previous
+	// life (the daemon's -persist flag). Nil keeps every piece of state
+	// memory-only, exactly as before.
+	Store *store.Store
 }
 
 func (c Config) normalized() Config {
@@ -114,7 +122,11 @@ type Server struct {
 	reqSeconds *obs.HistogramVec
 }
 
-// New assembles a server and starts its worker pool.
+// New assembles a server and starts its worker pool. With a durable
+// store configured, the store's recovered state is adopted before the
+// first request: snapshots become resident datasets, journal records
+// become poll-able terminal jobs, and disk artifacts answer repeated
+// queries as cache hits.
 func New(cfg Config) *Server {
 	cfg = cfg.normalized()
 	s := &Server{
@@ -123,7 +135,15 @@ func New(cfg Config) *Server {
 		cache: NewCache(cfg.CacheEntries),
 		mux:   http.NewServeMux(),
 	}
-	s.jobs = NewRunner(s.reg, s.cache, cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.MaxJobs)
+	s.reg.st = cfg.Store
+	s.cache.st = cfg.Store
+	s.jobs = NewRunner(s.reg, s.cache, cfg.Store, cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.MaxJobs)
+	if cfg.Store != nil {
+		for _, ld := range cfg.Store.Datasets() {
+			s.reg.Adopt(ld.Meta, ld.Rel)
+		}
+		s.jobs.Preload(cfg.Store.Jobs())
+	}
 	s.registerMetrics()
 	s.routes()
 	return s
@@ -173,6 +193,80 @@ func (s *Server) registerMetrics() {
 		"Total CSV source size of the resident datasets.", func() float64 {
 			return float64(s.reg.ResidentBytes())
 		})
+	if st := s.cfg.Store; st != nil {
+		s.registerStoreMetrics(st)
+	}
+}
+
+// registerStoreMetrics exposes the durable store's counters and gauges,
+// read from store.Stats() at scrape time. The structmine_store_ prefix
+// groups them apart from the per-server structmined_ families because
+// the store can outlive any single server instance.
+func (s *Server) registerStoreMetrics(st *store.Store) {
+	m := s.metrics
+	counters := []struct {
+		name, help string
+		read       func(store.Stats) float64
+	}{
+		{"structmine_store_snapshot_writes_total",
+			"Dataset snapshots written durably.",
+			func(t store.Stats) float64 { return float64(t.SnapshotWrites) }},
+		{"structmine_store_snapshot_write_errors_total",
+			"Dataset snapshot writes that failed.",
+			func(t store.Stats) float64 { return float64(t.SnapshotWriteErr) }},
+		{"structmine_store_artifact_writes_total",
+			"Artifacts spilled to the durable tier.",
+			func(t store.Stats) float64 { return float64(t.ArtifactWrites) }},
+		{"structmine_store_artifact_write_errors_total",
+			"Artifact spills that failed.",
+			func(t store.Stats) float64 { return float64(t.ArtifactWriteErr) }},
+		{"structmine_store_artifact_evictions_total",
+			"Artifacts evicted from disk under the LRU budgets.",
+			func(t store.Stats) float64 { return float64(t.ArtifactEvictions) }},
+		{"structmine_store_journal_appends_total",
+			"Terminal job records appended to the journal.",
+			func(t store.Stats) float64 { return float64(t.JournalAppends) }},
+		{"structmine_store_journal_append_errors_total",
+			"Journal appends that failed.",
+			func(t store.Stats) float64 { return float64(t.JournalAppendErr) }},
+		{"structmine_store_quarantined_total",
+			"Corrupt or foreign files moved to quarantine.",
+			func(t store.Stats) float64 { return float64(t.Quarantined) }},
+	}
+	for _, c := range counters {
+		read := c.read
+		m.CounterFunc(c.name, c.help, func() float64 { return read(st.Stats()) })
+	}
+	gauges := []struct {
+		name, help string
+		read       func(store.Stats) float64
+	}{
+		{"structmine_store_artifact_entries",
+			"Artifacts resident on disk.",
+			func(t store.Stats) float64 { return float64(t.ArtifactEntries) }},
+		{"structmine_store_artifact_bytes",
+			"Total bytes of artifacts resident on disk.",
+			func(t store.Stats) float64 { return float64(t.ArtifactBytes) }},
+		{"structmine_store_journal_records",
+			"Job records in the journal (recovered + appended this run).",
+			func(t store.Stats) float64 { return float64(t.JournalRecords) }},
+		{"structmine_store_recovered_datasets",
+			"Dataset snapshots recovered at the last boot.",
+			func(t store.Stats) float64 { return float64(t.RecoveredDatasets) }},
+		{"structmine_store_recovered_artifacts",
+			"Artifacts recovered at the last boot.",
+			func(t store.Stats) float64 { return float64(t.RecoveredArtifacts) }},
+		{"structmine_store_recovered_jobs",
+			"Journal records recovered at the last boot.",
+			func(t store.Stats) float64 { return float64(t.RecoveredJobs) }},
+		{"structmine_store_dropped_job_records",
+			"Journal lines dropped at the last boot (torn or invalid).",
+			func(t store.Stats) float64 { return float64(t.DroppedJobRecords) }},
+	}
+	for _, g := range gauges {
+		read := g.read
+		m.GaugeFunc(g.name, g.help, func() float64 { return read(st.Stats()) })
+	}
 }
 
 // resolveDataPath validates a client-supplied registration path against

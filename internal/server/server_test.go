@@ -171,7 +171,7 @@ func TestEndToEndFlow(t *testing.T) {
 	// Different parameters miss the cache.
 	var third JobView
 	code, _ = doJSON(t, "POST", ts.URL+"/jobs",
-		submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: 0.9}}, &third)
+		submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: task.F(0.9)}}, &third)
 	if code != http.StatusAccepted || third.CacheHit {
 		t.Fatalf("changed psi should miss the cache: %d %+v", code, third)
 	}
@@ -322,7 +322,7 @@ func TestCancelQueuedJob(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		var v JobView
 		code, body := doJSON(t, "POST", ts.URL+"/jobs",
-			submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: 0.2 + float64(i)/50}}, &v)
+			submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: task.F(0.2 + float64(i)/50)}}, &v)
 		if code != http.StatusAccepted {
 			t.Fatalf("submit %d: %d %s", i, code, body)
 		}
@@ -403,7 +403,7 @@ func TestQueueFull(t *testing.T) {
 	// values dodge the artifact cache.
 	sawFull := false
 	for i := 0; i < 8 && !sawFull; i++ {
-		_, err := s.jobs.Submit(ds.ID, "rank-fds", task.Params{Psi: 0.1 + float64(i)/100})
+		_, err := s.jobs.Submit(ds.ID, "rank-fds", task.Params{Psi: task.F(0.1 + float64(i)/100)})
 		if err != nil {
 			if !strings.Contains(err.Error(), "queue is full") {
 				t.Fatalf("unexpected submit error: %v", err)
@@ -532,7 +532,7 @@ func TestBoundedState(t *testing.T) {
 	for _, params := range []float64{0.3, 0.4, 0.5, 0.6} {
 		var v JobView
 		code, body := doJSON(t, "POST", ts.URL+"/jobs",
-			submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: params}}, &v)
+			submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: task.F(params)}}, &v)
 		if code != http.StatusAccepted {
 			t.Fatalf("submit psi=%v: %d %s", params, code, body)
 		}
@@ -556,12 +556,12 @@ func TestBoundedState(t *testing.T) {
 	// The most recent artifact is still a hit, the first was evicted.
 	var v JobView
 	doJSON(t, "POST", ts.URL+"/jobs",
-		submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: 0.6}}, &v)
+		submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: task.F(0.6)}}, &v)
 	if !v.CacheHit {
 		t.Error("most recent artifact should still be cached")
 	}
 	doJSON(t, "POST", ts.URL+"/jobs",
-		submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: 0.3}}, &v)
+		submitRequest{Dataset: ds.ID, Task: "rank-fds", Params: task.Params{Psi: task.F(0.3)}}, &v)
 	if v.CacheHit {
 		t.Error("oldest artifact should have been evicted")
 	}

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"errors"
+	"sync"
+)
+
+// faultFS wraps a real FS with programmable failures so the tests can
+// prove crash consistency: a short write, a failed rename, or a torn
+// file must never corrupt previously durable state.
+type faultFS struct {
+	FS
+
+	mu sync.Mutex
+	// writeBudget, when >= 0, is the number of bytes future file writes
+	// may produce before they start failing (simulating a full disk or a
+	// kill mid-write that left a short temp file).
+	writeBudget int64
+	// failRenames makes every Rename fail (simulating a crash between
+	// the temp write and the rename).
+	failRenames bool
+	// failSync makes every file Sync fail.
+	failSync bool
+}
+
+var (
+	errInjectedWrite  = errors.New("injected write failure")
+	errInjectedRename = errors.New("injected rename failure")
+	errInjectedSync   = errors.New("injected sync failure")
+)
+
+func newFaultFS() *faultFS { return &faultFS{FS: OS(), writeBudget: -1} }
+
+func (f *faultFS) setWriteBudget(n int64) {
+	f.mu.Lock()
+	f.writeBudget = n
+	f.mu.Unlock()
+}
+
+func (f *faultFS) setFailRenames(v bool) {
+	f.mu.Lock()
+	f.failRenames = v
+	f.mu.Unlock()
+}
+
+func (f *faultFS) setFailSync(v bool) {
+	f.mu.Lock()
+	f.failSync = v
+	f.mu.Unlock()
+}
+
+func (f *faultFS) CreateTemp(dir, pattern string) (File, error) {
+	file, err := f.FS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *faultFS) OpenAppend(path string) (File, error) {
+	file, err := f.FS.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *faultFS) Rename(oldPath, newPath string) error {
+	f.mu.Lock()
+	fail := f.failRenames
+	f.mu.Unlock()
+	if fail {
+		return errInjectedRename
+	}
+	return f.FS.Rename(oldPath, newPath)
+}
+
+type faultFile struct {
+	File
+	fs *faultFS
+}
+
+// Write honors the FS write budget: once exhausted, writes land short —
+// the bytes within budget still hit the file, the rest are lost — which
+// is exactly what a crash mid-write leaves behind.
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	budget := f.fs.writeBudget
+	if budget >= 0 {
+		if int64(len(p)) > budget {
+			short := p[:budget]
+			f.fs.writeBudget = 0
+			f.fs.mu.Unlock()
+			n, _ := f.File.Write(short)
+			return n, errInjectedWrite
+		}
+		f.fs.writeBudget -= int64(len(p))
+	}
+	f.fs.mu.Unlock()
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	fail := f.fs.failSync
+	f.fs.mu.Unlock()
+	if fail {
+		return errInjectedSync
+	}
+	return f.File.Sync()
+}

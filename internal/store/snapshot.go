@@ -1,0 +1,235 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"structmine/internal/relation"
+)
+
+// The dataset snapshot is a versioned binary image of a parsed
+// relation.Relation plus its registration metadata:
+//
+//	magic "SMSN" | uint16 version | payload | uint32 CRC32-IEEE
+//
+// The payload is a sequence of uvarint-length-prefixed strings and
+// uvarint counts followed by the n×m little-endian int32 row block. The
+// trailing CRC covers the magic, version, and payload, so any torn or
+// bit-flipped file is rejected before parsing. Value ids are stored in
+// interning order, which makes the round trip bit-identical: restoring
+// a snapshot yields the same dictionary, the same ids, and the same
+// WriteCSV bytes as the original parse.
+
+var snapshotMagic = [4]byte{'S', 'M', 'S', 'N'}
+
+// snapshotVersion is bumped on any incompatible format change; old
+// versions are rejected (the daemon re-registers from source) rather
+// than guessed at.
+const snapshotVersion = 1
+
+// ErrCorruptSnapshot reports a snapshot that failed its checksum or
+// structural validation; the store quarantines such files on load.
+var ErrCorruptSnapshot = errors.New("store: corrupt snapshot")
+
+// DatasetMeta is the registration metadata persisted alongside the
+// relation image.
+type DatasetMeta struct {
+	// Hash is the full SHA-256 of the original CSV bytes — the dataset's
+	// registry identity and the snapshot's file name.
+	Hash string
+	// Name is the display name given at registration.
+	Name string
+	// Source records where the data came from ("upload" or a path).
+	Source string
+	// Bytes is the size of the original CSV source.
+	Bytes int64
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// encodeSnapshot renders the snapshot bytes for one dataset.
+func encodeSnapshot(meta DatasetMeta, rel *relation.Relation) []byte {
+	raw := rel.Raw()
+	n, m, d := len(raw.Rows), len(raw.Attrs), len(raw.ValueStr)
+
+	size := 4 + 2 + 16 + len(meta.Hash) + len(meta.Name) + len(meta.Source) + len(raw.Name)
+	size += 10 + 4*n*m + 5*d
+	buf := make([]byte, 0, size)
+	buf = append(buf, snapshotMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, snapshotVersion)
+	buf = appendString(buf, meta.Hash)
+	buf = appendString(buf, meta.Name)
+	buf = appendString(buf, meta.Source)
+	buf = binary.AppendUvarint(buf, uint64(meta.Bytes))
+	buf = appendString(buf, raw.Name)
+	buf = binary.AppendUvarint(buf, uint64(m))
+	for _, a := range raw.Attrs {
+		buf = appendString(buf, a)
+	}
+	buf = binary.AppendUvarint(buf, uint64(d))
+	for id := 0; id < d; id++ {
+		buf = binary.AppendUvarint(buf, uint64(raw.ValueAttr[id]))
+		buf = appendString(buf, raw.ValueStr[id])
+	}
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for _, row := range raw.Rows {
+		for _, v := range row {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// snapReader parses the payload with explicit bounds checks so a
+// corrupt length prefix yields ErrCorruptSnapshot instead of a panic or
+// an allocation bomb.
+type snapReader struct {
+	buf []byte
+	off int
+}
+
+func (r *snapReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint at offset %d", ErrCorruptSnapshot, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads a uvarint that counts elements of at least elemSize bytes
+// each, rejecting values the remaining payload cannot possibly hold.
+func (r *snapReader) count(elemSize int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.buf)-r.off)/uint64(elemSize) {
+		return 0, fmt.Errorf("%w: count %d exceeds remaining payload", ErrCorruptSnapshot, v)
+	}
+	return int(v), nil
+}
+
+func (r *snapReader) string() (string, error) {
+	n, err := r.count(1)
+	if err != nil {
+		return "", err
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+// decodeSnapshot verifies and parses snapshot bytes back into the
+// registration metadata and the relation.
+func decodeSnapshot(data []byte) (DatasetMeta, *relation.Relation, error) {
+	var meta DatasetMeta
+	if len(data) < 4+2+4 {
+		return meta, nil, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrCorruptSnapshot, len(data))
+	}
+	if [4]byte(data[:4]) != snapshotMagic {
+		return meta, nil, fmt.Errorf("%w: bad magic %q", ErrCorruptSnapshot, data[:4])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), crc32.ChecksumIEEE(body); got != want {
+		return meta, nil, fmt.Errorf("%w: CRC32 %08x, computed %08x", ErrCorruptSnapshot, got, want)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != snapshotVersion {
+		return meta, nil, fmt.Errorf("%w: version %d, this build reads %d", ErrCorruptSnapshot, v, snapshotVersion)
+	}
+
+	r := &snapReader{buf: body, off: 6}
+	var err error
+	read := func(dst *string) {
+		if err == nil {
+			*dst, err = r.string()
+		}
+	}
+	read(&meta.Hash)
+	read(&meta.Name)
+	read(&meta.Source)
+	if err != nil {
+		return meta, nil, err
+	}
+	csvBytes, err := r.uvarint()
+	if err != nil || csvBytes > math.MaxInt64 {
+		return meta, nil, fmt.Errorf("%w: bad source size", errOr(err, ErrCorruptSnapshot))
+	}
+	meta.Bytes = int64(csvBytes)
+
+	var raw relation.Raw
+	read(&raw.Name)
+	if err != nil {
+		return meta, nil, err
+	}
+	m, err := r.count(1)
+	if err != nil {
+		return meta, nil, err
+	}
+	raw.Attrs = make([]string, m)
+	for i := range raw.Attrs {
+		read(&raw.Attrs[i])
+	}
+	if err != nil {
+		return meta, nil, err
+	}
+	d, err := r.count(2) // ≥ 1 byte attr varint + ≥ 1 byte string length
+	if err != nil {
+		return meta, nil, err
+	}
+	raw.ValueAttr = make([]int, d)
+	raw.ValueStr = make([]string, d)
+	for i := 0; i < d; i++ {
+		a, aerr := r.uvarint()
+		if aerr != nil {
+			return meta, nil, aerr
+		}
+		if a > math.MaxInt32 {
+			return meta, nil, fmt.Errorf("%w: value attribute %d out of range", ErrCorruptSnapshot, a)
+		}
+		raw.ValueAttr[i] = int(a)
+		read(&raw.ValueStr[i])
+		if err != nil {
+			return meta, nil, err
+		}
+	}
+	elem := 4 * m
+	if elem == 0 {
+		elem = 1 // a zero-attribute relation still bounds n by the payload
+	}
+	n, err := r.count(elem)
+	if err != nil {
+		return meta, nil, err
+	}
+	raw.Rows = make([][]int32, n)
+	cells := make([]int32, n*m) // one backing block, carved per row
+	for t := range raw.Rows {
+		row := cells[t*m : (t+1)*m : (t+1)*m]
+		for a := range row {
+			row[a] = int32(binary.LittleEndian.Uint32(r.buf[r.off:]))
+			r.off += 4
+		}
+		raw.Rows[t] = row
+	}
+	if r.off != len(body) {
+		return meta, nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorruptSnapshot, len(body)-r.off)
+	}
+	rel, err := relation.FromRaw(raw)
+	if err != nil {
+		return meta, nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	return meta, rel, nil
+}
+
+func errOr(err, fallback error) error {
+	if err != nil {
+		return err
+	}
+	return fallback
+}

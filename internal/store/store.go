@@ -1,0 +1,292 @@
+// Package store is the dependency-free durable storage subsystem behind
+// the structmined daemon's warm restarts. It owns an on-disk directory
+// with three kinds of state:
+//
+//   - dataset snapshots: versioned, CRC32-checksummed binary images of
+//     parsed relations (snapshot.go), one file per content hash;
+//   - a persistent artifact cache: completed task results spilled to
+//     content-addressed JSON files with entry and byte budgets
+//     (artifacts.go);
+//   - an append-only job journal: one JSON line per terminal job record
+//     (journal.go), so GET /jobs survives restarts.
+//
+// Every write is atomic (temp → optional fsync → rename), so a crash —
+// including kill -9 mid-write — leaves either the previous durable
+// state or the new one, never a torn file. Boot-time recovery ignores
+// leftover temp files, quarantines anything that fails its checksum,
+// and tolerates a torn journal tail. All filesystem access goes through
+// the FS interface (fs.go) so tests can inject short writes, rename
+// failures, and torn files.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"structmine/internal/relation"
+)
+
+// Options tunes a Store. Zero values select the defaults.
+type Options struct {
+	// Fsync forces an fsync of every data file (and its directory)
+	// before a write is considered durable. Off, the store is still
+	// crash-consistent — renames keep files atomic — but writes from the
+	// final moments before an OS crash or power loss may be lost.
+	Fsync bool
+	// ArtifactMaxEntries bounds the artifact files kept on disk
+	// (default 4096; negative = unlimited).
+	ArtifactMaxEntries int
+	// ArtifactMaxBytes bounds the total artifact bytes kept on disk
+	// (default 256 MiB; negative = unlimited).
+	ArtifactMaxBytes int64
+	// JournalKeep bounds the job journal: when a boot finds more
+	// records, the journal is compacted to the newest JournalKeep
+	// (default 4096; negative = unlimited).
+	JournalKeep int
+	// FS substitutes the filesystem (tests); nil selects the real one.
+	FS FS
+}
+
+func (o Options) normalized() Options {
+	if o.ArtifactMaxEntries == 0 {
+		o.ArtifactMaxEntries = 4096
+	}
+	if o.ArtifactMaxBytes == 0 {
+		o.ArtifactMaxBytes = 256 << 20
+	}
+	if o.JournalKeep == 0 {
+		o.JournalKeep = 4096
+	}
+	if o.FS == nil {
+		o.FS = OS()
+	}
+	return o
+}
+
+// Store is one mounted data directory. All methods are safe for
+// concurrent use.
+type Store struct {
+	fsys  FS
+	fsync bool
+	root  string
+
+	datasetsDir   string
+	artifactsDir  string
+	quarantineDir string
+	jobsDir       string
+
+	datasets []LoadedDataset // recovered at Open, consumed by the server
+
+	amu        sync.Mutex
+	artifacts  map[string]*artifactEntry
+	artBytes   int64
+	artSeq     uint64
+	maxEntries int
+	maxBytes   int64
+
+	jmu        sync.Mutex
+	journal    File
+	journalLen int
+	jobRecords [][]byte // recovered at Open, consumed by the server
+
+	// Counters behind the structmine_store_* metric families.
+	snapshotWrites     atomic.Uint64
+	snapshotWriteErr   atomic.Uint64
+	artifactWrites     atomic.Uint64
+	artifactWriteErr   atomic.Uint64
+	artifactEvictions  atomic.Uint64
+	journalAppends     atomic.Uint64
+	journalAppendErr   atomic.Uint64
+	quarantined        atomic.Uint64
+	recoveredDatasets  int
+	recoveredArtifacts int
+	recoveredJobs      int
+	droppedJobRecords  int
+}
+
+// LoadedDataset is one dataset recovered from a snapshot at Open.
+type LoadedDataset struct {
+	Meta DatasetMeta
+	Rel  *relation.Relation
+}
+
+// Open mounts (creating if needed) the store rooted at dir and runs
+// recovery: dataset snapshots are decoded, the artifact index is
+// rebuilt, the job journal is replayed (and compacted when oversized),
+// and anything corrupt is quarantined rather than trusted. Leftover
+// temp files from interrupted writes are deleted.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.normalized()
+	s := &Store{
+		fsys:          opts.FS,
+		fsync:         opts.Fsync,
+		root:          dir,
+		datasetsDir:   filepath.Join(dir, "datasets"),
+		artifactsDir:  filepath.Join(dir, "artifacts"),
+		quarantineDir: filepath.Join(dir, "quarantine"),
+		jobsDir:       filepath.Join(dir, "jobs"),
+		artifacts:     map[string]*artifactEntry{},
+		maxEntries:    opts.ArtifactMaxEntries,
+		maxBytes:      opts.ArtifactMaxBytes,
+	}
+	for _, d := range []string{s.datasetsDir, s.artifactsDir, s.quarantineDir, s.jobsDir} {
+		if err := s.fsys.MkdirAll(d); err != nil {
+			return nil, fmt.Errorf("store: creating %s: %w", d, err)
+		}
+	}
+	if err := s.recoverDatasets(); err != nil {
+		return nil, err
+	}
+	if err := s.recoverArtifacts(); err != nil {
+		return nil, err
+	}
+	if err := s.recoverJournal(opts.JournalKeep); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close releases the journal handle. The store must not be used after.
+func (s *Store) Close() error {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	err := s.journal.Close()
+	s.journal = nil
+	return err
+}
+
+// quarantine moves a corrupt file out of the live tree so recovery
+// never trusts it again but an operator can still inspect it.
+func (s *Store) quarantine(path string) {
+	s.quarantined.Add(1)
+	dst := filepath.Join(s.quarantineDir, filepath.Base(path))
+	if err := s.fsys.Rename(path, dst); err != nil {
+		_ = s.fsys.Remove(path)
+	}
+}
+
+// sweepTemps deletes leftover temp files from interrupted atomic writes.
+func (s *Store) sweepTemps(dir string, names []string) []string {
+	live := names[:0]
+	for _, name := range names {
+		if strings.HasPrefix(name, tempPrefix) {
+			_ = s.fsys.Remove(filepath.Join(dir, name))
+			continue
+		}
+		live = append(live, name)
+	}
+	return live
+}
+
+const snapshotExt = ".snap"
+
+// SaveDataset durably persists one registered dataset. The write is
+// atomic; an existing snapshot of the same hash is replaced (the
+// content is identical by construction, so this is idempotent).
+func (s *Store) SaveDataset(meta DatasetMeta, rel *relation.Relation) error {
+	if meta.Hash == "" || meta.Hash != filepath.Base(meta.Hash) {
+		return fmt.Errorf("store: invalid dataset hash %q", meta.Hash)
+	}
+	data := encodeSnapshot(meta, rel)
+	path := filepath.Join(s.datasetsDir, meta.Hash+snapshotExt)
+	if err := writeAtomic(s.fsys, path, data, s.fsync); err != nil {
+		s.snapshotWriteErr.Add(1)
+		return fmt.Errorf("store: writing dataset snapshot: %w", err)
+	}
+	s.snapshotWrites.Add(1)
+	return nil
+}
+
+// RemoveDataset deletes a dataset snapshot (used when an adoption is
+// rolled back). Missing files are not an error.
+func (s *Store) RemoveDataset(hash string) error {
+	err := s.fsys.Remove(filepath.Join(s.datasetsDir, hash+snapshotExt))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Datasets returns the datasets recovered at Open, ordered by hash.
+func (s *Store) Datasets() []LoadedDataset { return s.datasets }
+
+func (s *Store) recoverDatasets() error {
+	names, err := s.fsys.ReadDir(s.datasetsDir)
+	if err != nil {
+		return fmt.Errorf("store: scanning datasets: %w", err)
+	}
+	for _, name := range s.sweepTemps(s.datasetsDir, names) {
+		path := filepath.Join(s.datasetsDir, name)
+		if !strings.HasSuffix(name, snapshotExt) {
+			s.quarantine(path)
+			continue
+		}
+		data, err := s.fsys.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("store: reading %s: %w", path, err)
+		}
+		meta, rel, err := decodeSnapshot(data)
+		if err != nil || meta.Hash+snapshotExt != name {
+			s.quarantine(path)
+			continue
+		}
+		s.datasets = append(s.datasets, LoadedDataset{Meta: meta, Rel: rel})
+	}
+	s.recoveredDatasets = len(s.datasets)
+	return nil
+}
+
+// Stats is a snapshot of the store's observable state, exported as the
+// structmine_store_* metric families.
+type Stats struct {
+	SnapshotWrites     uint64
+	SnapshotWriteErr   uint64
+	ArtifactEntries    int
+	ArtifactBytes      int64
+	ArtifactWrites     uint64
+	ArtifactWriteErr   uint64
+	ArtifactEvictions  uint64
+	JournalAppends     uint64
+	JournalAppendErr   uint64
+	JournalRecords     int
+	Quarantined        uint64
+	RecoveredDatasets  int
+	RecoveredArtifacts int
+	RecoveredJobs      int
+	DroppedJobRecords  int
+}
+
+// Stats returns the current counters and gauges.
+func (s *Store) Stats() Stats {
+	s.amu.Lock()
+	entries, bytes := len(s.artifacts), s.artBytes
+	s.amu.Unlock()
+	s.jmu.Lock()
+	journalLen := s.journalLen
+	s.jmu.Unlock()
+	return Stats{
+		SnapshotWrites:     s.snapshotWrites.Load(),
+		SnapshotWriteErr:   s.snapshotWriteErr.Load(),
+		ArtifactEntries:    entries,
+		ArtifactBytes:      bytes,
+		ArtifactWrites:     s.artifactWrites.Load(),
+		ArtifactWriteErr:   s.artifactWriteErr.Load(),
+		ArtifactEvictions:  s.artifactEvictions.Load(),
+		JournalAppends:     s.journalAppends.Load(),
+		JournalAppendErr:   s.journalAppendErr.Load(),
+		JournalRecords:     journalLen,
+		Quarantined:        s.quarantined.Load(),
+		RecoveredDatasets:  s.recoveredDatasets,
+		RecoveredArtifacts: s.recoveredArtifacts,
+		RecoveredJobs:      s.recoveredJobs,
+		DroppedJobRecords:  s.droppedJobRecords,
+	}
+}

@@ -99,10 +99,10 @@ func runDedup(ctx context.Context, r *relation.Relation, p Params) (*DedupResult
 	if err := step(ctx, "tuple clustering"); err != nil {
 		return nil, err
 	}
-	rep := tuples.FindDuplicates(r, p.PhiT, defaultB)
+	rep := tuples.FindDuplicates(r, fv(p.PhiT), defaultB)
 	res := &DedupResult{
-		PhiT: p.PhiT, Threshold: rep.Threshold, LeafCount: rep.LeafCount,
-		MinSim: p.MinSim, Groups: [][]int{},
+		PhiT: fv(p.PhiT), Threshold: rep.Threshold, LeafCount: rep.LeafCount,
+		MinSim: fv(p.MinSim), Groups: [][]int{},
 	}
 	for _, g := range rep.Groups {
 		if len(g) >= 2 {
@@ -112,7 +112,7 @@ func runDedup(ctx context.Context, r *relation.Relation, p Params) (*DedupResult
 	if err := step(ctx, "pair refinement"); err != nil {
 		return nil, err
 	}
-	for _, ps := range tuples.RefineDuplicates(r, rep, p.MinSim) {
+	for _, ps := range tuples.RefineDuplicates(r, rep, fv(p.MinSim)) {
 		res.Pairs = append(res.Pairs, DupPair{T1: ps.T1, T2: ps.T2, Agree: ps.Agree, Similarity: ps.Similarity})
 	}
 	return res, nil
@@ -189,8 +189,8 @@ func runValues(ctx context.Context, r *relation.Relation, p Params) (*ValuesResu
 	if err := step(ctx, "value clustering"); err != nil {
 		return nil, err
 	}
-	vc := values.ClusterRelation(r, p.PhiV, defaultB)
-	return newValuesResult(r, p.PhiV, vc), nil
+	vc := values.ClusterRelation(r, fv(p.PhiV), defaultB)
+	return newValuesResult(r, fv(p.PhiV), vc), nil
 }
 
 // MergeStep is one agglomerative merge of the attribute dendrogram.
@@ -214,14 +214,14 @@ type GroupAttrsResult struct {
 
 func clusterValuesFor(ctx context.Context, r *relation.Relation, p Params) (*values.Clustering, error) {
 	if !p.Double {
-		return values.ClusterRelation(r, p.PhiV, defaultB), nil
+		return values.ClusterRelation(r, fv(p.PhiV), defaultB), nil
 	}
-	assign, k := tuples.Compress(r, p.PhiT, defaultB)
+	assign, k := tuples.Compress(r, fv(p.PhiT), defaultB)
 	if err := step(ctx, "value clustering over tuple clusters"); err != nil {
 		return nil, err
 	}
 	objs := values.ObjectsOverClusters(r, assign, k)
-	return values.Cluster(objs, p.PhiV, defaultB, r.M()), nil
+	return values.Cluster(objs, fv(p.PhiV), defaultB, r.M()), nil
 }
 
 func newGroupAttrsResult(r *relation.Relation, g *attrs.Grouping, vc *values.Clustering) *GroupAttrsResult {
@@ -347,11 +347,11 @@ func runApproxFDs(ctx context.Context, r *relation.Relation, p Params) (*ApproxF
 	if err := step(ctx, "approximate dependency mining"); err != nil {
 		return nil, err
 	}
-	fds, err := fd.MineApprox(r, p.Eps, p.MaxLHS)
+	fds, err := fd.MineApprox(r, fv(p.Eps), p.MaxLHS)
 	if err != nil {
 		return nil, err
 	}
-	res := &ApproxFDsResult{Eps: p.Eps, MaxLHS: p.MaxLHS, FDs: []ApproxFDItem{}}
+	res := &ApproxFDsResult{Eps: fv(p.Eps), MaxLHS: p.MaxLHS, FDs: []ApproxFDItem{}}
 	for _, a := range fds {
 		res.FDs = append(res.FDs, ApproxFDItem{FD: newFDItem(r, a.FD), G3: a.Err})
 	}
@@ -415,7 +415,7 @@ func runRankFDs(ctx context.Context, r *relation.Relation, p Params) (*RankFDsRe
 	if err := step(ctx, "dependency mining"); err != nil {
 		return nil, err
 	}
-	res, _, err := rankPipeline(ctx, r, p.Psi)
+	res, _, err := rankPipeline(ctx, r, fv(p.Psi))
 	return res, err
 }
 
@@ -444,7 +444,7 @@ func runDecompose(ctx context.Context, r *relation.Relation, p Params) (*Decompo
 	if err := step(ctx, "dependency mining"); err != nil {
 		return nil, err
 	}
-	_, ranked, err := rankPipeline(ctx, r, p.Psi)
+	_, ranked, err := rankPipeline(ctx, r, fv(p.Psi))
 	if err != nil {
 		return nil, err
 	}
@@ -501,7 +501,7 @@ func runReport(ctx context.Context, r *relation.Relation, p Params) (*ReportResu
 	if err := step(ctx, "report generation"); err != nil {
 		return nil, err
 	}
-	opts := report.Options{PhiT: p.PhiT, PhiV: p.PhiV, Psi: p.Psi}
+	opts := report.Options{PhiT: fv(p.PhiT), PhiV: fv(p.PhiV), Psi: fv(p.Psi)}
 	rep, err := report.Generate(r, opts)
 	if err != nil {
 		return nil, err

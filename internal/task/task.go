@@ -81,91 +81,114 @@ func Usage() string {
 }
 
 // Params are the knobs a task run may consume, with JSON names matching
-// the server's job-submission payload. Zero values select the paper's
-// defaults.
+// the server's job-submission payload.
+//
+// The float knobs are pointers so that "not set" and "explicitly zero"
+// are distinct states: a nil knob selects the task's default, while an
+// explicit value — including 0 — is honored as given. In Go code use F
+// to set a literal (Params{Psi: task.F(0.5)}); in JSON simply omit the
+// field to take the default.
 type Params struct {
-	// PhiT is the tuple-clustering accuracy knob φT.
-	PhiT float64 `json:"phit,omitempty"`
-	// PhiV is the value-clustering accuracy knob φV.
-	PhiV float64 `json:"phiv,omitempty"`
-	// Psi is the FD-RANK threshold ψ (default 0.5).
-	Psi float64 `json:"psi,omitempty"`
-	// K is the partition count for the partition task (0 = automatic).
+	// PhiT is the tuple-clustering accuracy knob φT. Unset selects 0.3
+	// for report and 0 (self-calibrating threshold) elsewhere.
+	PhiT *float64 `json:"phit,omitempty"`
+	// PhiV is the value-clustering accuracy knob φV. Unset selects 0
+	// (self-calibrating threshold).
+	PhiV *float64 `json:"phiv,omitempty"`
+	// Psi is the FD-RANK threshold ψ. Unset selects 0.5; an explicit 0
+	// disables the threshold entirely.
+	Psi *float64 `json:"psi,omitempty"`
+	// K is the partition count for the partition task. 0 (or unset)
+	// selects the automatic elbow choice.
 	K int `json:"k,omitempty"`
-	// Eps is the g3 bound for approx-fds (default 0.05).
-	Eps float64 `json:"eps,omitempty"`
-	// MaxLHS bounds antecedent size for approx-fds / mine-mvds.
+	// Eps is the g3 bound for approx-fds. Unset selects 0.05; an
+	// explicit 0 demands exact dependencies.
+	Eps *float64 `json:"eps,omitempty"`
+	// MaxLHS bounds antecedent size for approx-fds / mine-mvds. For
+	// approx-fds, 0 (or unset) selects the default bound 3.
 	MaxLHS int `json:"max_lhs,omitempty"`
-	// MinSim is the minimum string similarity for dedup pairs (default 0.5).
-	MinSim float64 `json:"min_sim,omitempty"`
+	// MinSim is the minimum string similarity for dedup pairs. Unset
+	// selects 0.5; an explicit 0 keeps every in-group pair.
+	MinSim *float64 `json:"min_sim,omitempty"`
 	// Double selects double clustering for group-attrs.
 	Double bool `json:"double,omitempty"`
-	// MinContainment is the joins threshold (CLI-only task).
-	MinContainment float64 `json:"min_containment,omitempty"`
+	// MinContainment is the joins threshold (CLI-only task). Unset
+	// selects 0.9.
+	MinContainment *float64 `json:"min_containment,omitempty"`
 }
 
-// Normalize returns the parameters a task actually consumes, with
-// defaults filled in and irrelevant knobs zeroed. Two submissions that
-// differ only in knobs the task never reads normalize identically — the
-// artifact cache treats them as the same query.
+// F wraps a literal for a Params knob: Params{Psi: task.F(0)} is an
+// explicit zero, distinct from the unset (nil) knob.
+func F(v float64) *float64 { return &v }
+
+// fv resolves a pointer knob to its value, with nil reading as 0.
+func fv(p *float64) float64 {
+	if p == nil {
+		return 0
+	}
+	return *p
+}
+
+// Normalize returns the parameters a task actually consumes: every knob
+// the task reads is resolved to a concrete (non-nil) value — the given
+// one, or the task's default when unset — and irrelevant knobs are
+// cleared. Two submissions that differ only in knobs the task never
+// reads normalize identically, so the artifact cache treats them as the
+// same query.
 func (p Params) Normalize(taskName string) Params {
 	q := Params{}
+	resolve := func(dst **float64, src *float64, def float64) {
+		v := def
+		if src != nil {
+			v = *src
+		}
+		*dst = &v
+	}
 	switch taskName {
 	case "describe", "mine-fds":
 		// No knobs.
 	case "report":
-		q.PhiT, q.PhiV, q.Psi = p.PhiT, p.PhiV, p.Psi
-		if q.PhiT == 0 {
-			q.PhiT = 0.3
-		}
-		if q.Psi == 0 {
-			q.Psi = 0.5
-		}
+		resolve(&q.PhiT, p.PhiT, 0.3)
+		resolve(&q.PhiV, p.PhiV, 0)
+		resolve(&q.Psi, p.Psi, 0.5)
 	case "dedup":
-		q.PhiT, q.MinSim = p.PhiT, p.MinSim
-		if q.MinSim == 0 {
-			q.MinSim = 0.5
-		}
+		resolve(&q.PhiT, p.PhiT, 0)
+		resolve(&q.MinSim, p.MinSim, 0.5)
 	case "partition":
 		q.K = p.K
 	case "values":
-		q.PhiV = p.PhiV
+		resolve(&q.PhiV, p.PhiV, 0)
 	case "group-attrs":
-		q.PhiV, q.Double = p.PhiV, p.Double
+		resolve(&q.PhiV, p.PhiV, 0)
+		q.Double = p.Double
 		if q.Double {
-			q.PhiT = p.PhiT
+			resolve(&q.PhiT, p.PhiT, 0)
 		}
 	case "mine-mvds":
 		q.MaxLHS = p.MaxLHS
 	case "approx-fds":
-		q.Eps, q.MaxLHS = p.Eps, p.MaxLHS
-		if q.Eps == 0 {
-			q.Eps = 0.05
-		}
+		resolve(&q.Eps, p.Eps, 0.05)
+		q.MaxLHS = p.MaxLHS
 		if q.MaxLHS == 0 {
 			q.MaxLHS = 3
 		}
 	case "rank-fds", "decompose":
-		q.Psi = p.Psi
-		if q.Psi == 0 {
-			q.Psi = 0.5
-		}
+		resolve(&q.Psi, p.Psi, 0.5)
 	case "joins":
-		q.MinContainment = p.MinContainment
-		if q.MinContainment == 0 {
-			q.MinContainment = 0.9
-		}
+		resolve(&q.MinContainment, p.MinContainment, 0.9)
 	}
 	return q
 }
 
 // CacheKey renders the canonical cache-key fragment for this task and
 // parameter set: the task name plus the normalized knobs in a fixed
-// order. Combined with a dataset content hash it addresses one artifact.
+// order (nil knobs render as 0, as before the pointer redesign, so keys
+// persisted by earlier builds stay addressable). Combined with a
+// dataset content hash it addresses one artifact.
 func (p Params) CacheKey(taskName string) string {
 	q := p.Normalize(taskName)
 	return fmt.Sprintf("%s|phit=%g|phiv=%g|psi=%g|k=%d|eps=%g|maxlhs=%d|minsim=%g|double=%t|mincont=%g",
-		taskName, q.PhiT, q.PhiV, q.Psi, q.K, q.Eps, q.MaxLHS, q.MinSim, q.Double, q.MinContainment)
+		taskName, fv(q.PhiT), fv(q.PhiV), fv(q.Psi), q.K, fv(q.Eps), q.MaxLHS, fv(q.MinSim), q.Double, fv(q.MinContainment))
 }
 
 // Run executes the named task over the relation and returns its

@@ -79,7 +79,7 @@ func TestRunResultShapes(t *testing.T) {
 		t.Error("describe: I(T;V) should be positive")
 	}
 
-	dd, err := Run(ctx, r, "dedup", Params{PhiT: 0.1})
+	dd, err := Run(ctx, r, "dedup", Params{PhiT: F(0.1)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,21 +138,62 @@ func TestRunCancellation(t *testing.T) {
 
 func TestParamsNormalizeAndCacheKey(t *testing.T) {
 	// Knobs a task never reads must not affect its cache key.
-	a := Params{Psi: 0.7}.CacheKey("dedup")
+	a := Params{Psi: F(0.7)}.CacheKey("dedup")
 	b := Params{}.CacheKey("dedup")
 	if a != b {
 		t.Errorf("psi must not affect dedup key:\n%s\n%s", a, b)
 	}
 	// Defaults normalize to the same key as explicit values.
-	if (Params{}).CacheKey("rank-fds") != (Params{Psi: 0.5}).CacheKey("rank-fds") {
+	if (Params{}).CacheKey("rank-fds") != (Params{Psi: F(0.5)}).CacheKey("rank-fds") {
 		t.Error("default psi and explicit 0.5 should share a key")
 	}
 	// Knobs a task does read must change the key.
-	if (Params{PhiT: 0.2}).CacheKey("dedup") == (Params{}).CacheKey("dedup") {
+	if (Params{PhiT: F(0.2)}).CacheKey("dedup") == (Params{}).CacheKey("dedup") {
 		t.Error("phit must affect dedup key")
 	}
 	if (Params{}).CacheKey("dedup") == (Params{}).CacheKey("values") {
 		t.Error("different tasks must have different keys")
+	}
+	// An explicit zero is a different query than an unset knob: ψ = 0
+	// disables the FD-RANK threshold, it does not mean "default".
+	if (Params{Psi: F(0)}).CacheKey("rank-fds") == (Params{}).CacheKey("rank-fds") {
+		t.Error("explicit psi=0 must not collapse into the default")
+	}
+	if got := (Params{Psi: F(0)}).Normalize("rank-fds"); got.Psi == nil || *got.Psi != 0 {
+		t.Errorf("explicit psi=0 normalized to %v, want 0", got.Psi)
+	}
+	// The rendered key format is a persisted contract: artifacts written
+	// by one build must stay addressable by the next.
+	const wantKey = "rank-fds|phit=0|phiv=0|psi=0.5|k=0|eps=0|maxlhs=0|minsim=0|double=false|mincont=0"
+	if got := (Params{}).CacheKey("rank-fds"); got != wantKey {
+		t.Errorf("cache key format drifted:\n got %s\nwant %s", got, wantKey)
+	}
+}
+
+// TestParamsJSONPresence pins the wire semantics of the pointer knobs:
+// an absent JSON field is nil (take the default), an explicit 0 is an
+// explicit zero, and marshaling omits only unset knobs.
+func TestParamsJSONPresence(t *testing.T) {
+	var p Params
+	if err := json.Unmarshal([]byte(`{"psi":0}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Psi == nil || *p.Psi != 0 {
+		t.Fatalf("explicit psi:0 parsed as %v", p.Psi)
+	}
+	var q Params
+	if err := json.Unmarshal([]byte(`{}`), &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Psi != nil {
+		t.Fatalf("absent psi parsed as %v, want nil", *q.Psi)
+	}
+	buf, err := json.Marshal(Params{Psi: F(0), K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != `{"psi":0,"k":2}` {
+		t.Fatalf("marshal = %s", buf)
 	}
 }
 

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# End-to-end smoke test of the structmined service: boot on a random
-# port, register the generated DB2 sample, run a rank-fds job to
-# completion, assert the identical repeated query is answered from the
-# artifact cache, and scrape the observability surface (/metrics and the
-# job's /trace). Finishes with a SIGTERM to check graceful drain.
+# End-to-end smoke test of the structmined service: boot a persistent
+# daemon on a random port, register the generated DB2 sample, run a
+# rank-fds job to completion over the /v1 API, assert the identical
+# repeated query is answered from the artifact cache, and scrape the
+# observability surface (/v1/metrics and the job's /trace). Then the
+# crash-recovery phase: SIGKILL the daemon (no drain, no warning), boot
+# a successor over the same -persist directory, and assert it recovers
+# the dataset, the old job record, and the artifact — the repeated query
+# must be a cache hit without re-mining. Finishes with a SIGTERM to
+# check graceful drain.
 #
 # On failure the daemon log is copied to $SMOKE_ARTIFACT_DIR (when set),
 # so CI can upload it as an artifact.
@@ -35,29 +40,35 @@ echo "smoke: building structmined and generating the DB2 sample"
 go build -o "$workdir/structmined" ./cmd/structmined
 go run ./cmd/datagen db2 -out "$workdir" >/dev/null
 
-"$workdir/structmined" -addr 127.0.0.1:0 -workers 2 >"$workdir/log" 2>&1 &
-pid=$!
+# boot LOGFILE — start a daemon over $workdir/state; sets $pid and $base.
+boot() {
+  local log=$1
+  "$workdir/structmined" -addr 127.0.0.1:0 -workers 2 -persist "$workdir/state" >"$log" 2>&1 &
+  pid=$!
+  disown "$pid" # keep bash from reporting the deliberate SIGKILL below
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^structmined listening on //p' "$log" | head -n1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "smoke: FAIL — server did not start" >&2; cat "$log" >&2; exit 1
+  fi
+  base="http://$addr"
+}
 
-addr=""
-for _ in $(seq 1 100); do
-  addr=$(sed -n 's/^structmined listening on //p' "$workdir/log" | head -n1)
-  [ -n "$addr" ] && break
-  sleep 0.1
-done
-if [ -z "$addr" ]; then
-  echo "smoke: FAIL — server did not start"; cat "$workdir/log"; exit 1
-fi
-base="http://$addr"
-echo "smoke: server up at $base"
+boot "$workdir/log"
+echo "smoke: server up at $base (persisting to $workdir/state)"
 
 ds=$(curl -sS -X POST --data-binary @"$workdir/db2sample.csv" \
-  -H 'Content-Type: text/csv' "$base/datasets?name=db2sample" | jq -r .id)
+  -H 'Content-Type: text/csv' "$base/v1/datasets?name=db2sample" | jq -r .id)
 [ -n "$ds" ] && [ "$ds" != null ] || { echo "smoke: FAIL — dataset registration"; exit 1; }
 echo "smoke: registered dataset $ds"
 
 submit() {
   curl -sS -X POST -H 'Content-Type: application/json' \
-    -d "{\"dataset\":\"$ds\",\"task\":\"rank-fds\"}" "$base/jobs"
+    -d "{\"dataset\":\"$ds\",\"task\":\"rank-fds\"}" "$base/v1/jobs"
 }
 
 job=$(submit)
@@ -67,25 +78,26 @@ for _ in $(seq 1 600); do
   case "$state" in done) break ;; failed|canceled)
     echo "smoke: FAIL — job $id reached state $state"; exit 1 ;; esac
   sleep 0.1
-  state=$(curl -sS "$base/jobs/$id" | jq -r .state)
+  state=$(curl -sS "$base/v1/jobs/$id" | jq -r .state)
 done
 [ "$state" = done ] || { echo "smoke: FAIL — job $id stuck in $state"; exit 1; }
-ranked=$(curl -sS "$base/jobs/$id/result" | jq '.result.ranked | length')
+ranked=$(curl -sS "$base/v1/jobs/$id/result" | jq '.result.ranked | length')
 [ "$ranked" -gt 0 ] || { echo "smoke: FAIL — empty rank-fds result"; exit 1; }
 echo "smoke: job $id done, $ranked ranked dependencies"
 
-stages=$(curl -sS "$base/jobs/$id/trace" | jq '.trace.stages | length')
+stages=$(curl -sS "$base/v1/jobs/$id/trace" | jq '.trace.stages | length')
 [ "$stages" -gt 0 ] || { echo "smoke: FAIL — finished job reports no trace stages"; exit 1; }
 echo "smoke: job trace reports $stages pipeline stages"
 
-metrics=$(curl -sS "$base/metrics")
+metrics=$(curl -sS "$base/v1/metrics")
 for series in structmined_http_requests_total structmined_jobs_queue_depth \
               structmined_cache_hits_total structmine_aib_merges_total \
-              structmine_stage_seconds_bucket; do
-  echo "$metrics" | grep -q "^$series" \
-    || { echo "smoke: FAIL — /metrics is missing $series"; exit 1; }
+              structmine_stage_seconds_bucket structmine_store_snapshot_writes_total \
+              structmine_store_journal_appends_total; do
+  echo "$metrics" | grep "^$series" >/dev/null \
+    || { echo "smoke: FAIL — /v1/metrics is missing $series"; exit 1; }
 done
-echo "smoke: /metrics exposes the request, job, cache, and engine series"
+echo "smoke: /v1/metrics exposes the request, job, cache, engine, and store series"
 
 second=$(submit)
 hit=$(echo "$second" | jq -r .cache_hit)
@@ -93,9 +105,63 @@ state2=$(echo "$second" | jq -r .state)
 if [ "$hit" != true ] || [ "$state2" != done ]; then
   echo "smoke: FAIL — repeated query not served from cache (hit=$hit state=$state2)"; exit 1
 fi
-hits=$(curl -sS "$base/healthz" | jq .cache.hits)
+hits=$(curl -sS "$base/v1/healthz" | jq .cache.hits)
 [ "$hits" -ge 1 ] || { echo "smoke: FAIL — healthz reports $hits cache hits"; exit 1; }
 echo "smoke: repeated query served from artifact cache (hits=$hits)"
+
+# The pre-/v1 paths still answer, marked deprecated; /v1 is not marked.
+dep=$(curl -sSI "$base/healthz" | tr -d '\r' | sed -n 's/^Deprecation: //p')
+[ "$dep" = true ] || { echo "smoke: FAIL — bare /healthz lacks the Deprecation header"; exit 1; }
+dep=$(curl -sSI "$base/v1/healthz" | tr -d '\r' | sed -n 's/^Deprecation: //p')
+[ -z "$dep" ] || { echo "smoke: FAIL — /v1/healthz carries a Deprecation header"; exit 1; }
+echo "smoke: unversioned aliases answer with Deprecation: true"
+
+# Errors are machine-readable envelopes.
+code=$(curl -sS "$base/v1/datasets/nope" | jq -r .error.code)
+[ "$code" = dataset_not_found ] || { echo "smoke: FAIL — error envelope code=$code"; exit 1; }
+echo "smoke: error envelope carries machine-readable codes"
+
+# --- crash-recovery phase -------------------------------------------------
+echo "smoke: SIGKILL the daemon (no drain) and restart over the same store"
+kill -KILL "$pid"
+for _ in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+pid=""
+
+boot "$workdir/log2"
+echo "smoke: successor up at $base"
+
+recovered=$(curl -sS "$base/v1/datasets" | jq -r --arg id "$ds" '[.[] | select(.id == $id)] | length')
+[ "$recovered" = 1 ] || { echo "smoke: FAIL — dataset $ds not recovered after SIGKILL"; exit 1; }
+echo "smoke: dataset $ds recovered"
+
+rec=$(curl -sS "$base/v1/jobs/$id")
+rstate=$(echo "$rec" | jq -r .state)
+rflag=$(echo "$rec" | jq -r .recovered)
+if [ "$rstate" != done ] || [ "$rflag" != true ]; then
+  echo "smoke: FAIL — pre-crash job $id not recovered (state=$rstate recovered=$rflag)"; exit 1
+fi
+ranked2=$(curl -sS "$base/v1/jobs/$id/result" | jq '.result.ranked | length')
+[ "$ranked2" = "$ranked" ] || { echo "smoke: FAIL — recovered artifact differs ($ranked2 vs $ranked)"; exit 1; }
+echo "smoke: pre-crash job $id answers with its original artifact"
+
+third=$(submit)
+hit3=$(echo "$third" | jq -r .cache_hit)
+state3=$(echo "$third" | jq -r .state)
+if [ "$hit3" != true ] || [ "$state3" != done ]; then
+  echo "smoke: FAIL — post-crash repeat not a cache hit (hit=$hit3 state=$state3)"; exit 1
+fi
+echo "smoke: post-crash repeated query served from the durable cache"
+
+recov=$(curl -sS "$base/v1/healthz" | jq .store.recovered_datasets)
+[ "$recov" -ge 1 ] || { echo "smoke: FAIL — healthz reports $recov recovered datasets"; exit 1; }
+# No grep -q in a pipeline: under pipefail an early -q exit EPIPEs curl
+# (exit 23) and fails the check even though the line is present.
+curl -sS "$base/v1/metrics" | grep '^structmine_store_recovered_datasets 1' >/dev/null \
+  || { echo "smoke: FAIL — store recovery gauge missing from /v1/metrics"; exit 1; }
+echo "smoke: recovery counters exposed on /v1/healthz and /v1/metrics"
 
 kill -TERM "$pid"
 for _ in $(seq 1 100); do

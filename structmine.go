@@ -84,22 +84,38 @@ func ReadCSV(name string, r io.Reader) (*Relation, error) { return relation.Read
 // ReadCSVFile parses a CSV file into a Relation.
 func ReadCSVFile(path string) (*Relation, error) { return relation.ReadCSVFile(path) }
 
-// Options configures a Miner. Zero values select the paper's defaults.
+// Options configures a Miner. Every field is honored as given —
+// including explicit zeros, which are meaningful settings for the φ
+// knobs and ψ — so start from DefaultOptions() and override, rather
+// than relying on the zero value, when you want the paper's defaults:
+//
+//	opts := structmine.DefaultOptions()
+//	opts.PhiT = 0.05
+//	m := structmine.NewMiner(r, opts)
+//
+// Only structurally invalid values (a branching factor below 2, a
+// non-positive leaf bound, a negative threshold) are replaced by their
+// defaults.
 type Options struct {
-	// PhiT is the tuple-clustering accuracy knob φT (0 merges only
-	// identical tuples).
+	// PhiT is the tuple-clustering accuracy knob φT ∈ [0,1]. 0 — the
+	// paper's default — merges only identical tuples; larger values admit
+	// more approximate duplicates.
 	PhiT float64
-	// PhiV is the value-clustering knob φV (0 finds perfect
-	// co-occurrence only).
+	// PhiV is the value-clustering knob φV ∈ [0,1]. 0 — the paper's
+	// default — finds perfect co-occurrence only.
 	PhiV float64
 	// PhiA is the attribute-grouping knob φA (the paper always uses 0).
 	PhiA float64
-	// B is the DCF-tree branching factor (paper: 4).
+	// B is the DCF-tree branching factor (paper: 4). Values below 2
+	// cannot form a tree and are replaced by the default.
 	B int
-	// Psi is the FD-RANK threshold ψ ∈ [0,1] (paper: 0.5).
+	// Psi is the FD-RANK threshold ψ ∈ [0,1] (paper: 0.5). An explicit 0
+	// disables the threshold; a negative value is replaced by the
+	// default.
 	Psi float64
 	// MaxLeaves bounds Phase 1 summaries during horizontal partitioning
-	// (paper: "for example, 100 leaves").
+	// (paper: "for example, 100 leaves"). Non-positive values are
+	// replaced by the default.
 	MaxLeaves int
 }
 
@@ -109,11 +125,15 @@ func DefaultOptions() Options {
 	return Options{PhiT: 0, PhiV: 0, PhiA: 0, B: 4, Psi: 0.5, MaxLeaves: 100}
 }
 
+// normalized repairs structurally invalid fields only. Explicit zeros
+// are meaningful (ψ = 0 ranks every dependency; φ = 0 demands perfect
+// co-occurrence) and pass through untouched — an earlier contract that
+// silently promoted Psi 0 to 0.5 made the zero setting unreachable.
 func (o Options) normalized() Options {
 	if o.B <= 1 {
 		o.B = 4
 	}
-	if o.Psi == 0 {
+	if o.Psi < 0 {
 		o.Psi = 0.5
 	}
 	if o.MaxLeaves <= 0 {

@@ -170,9 +170,20 @@ func TestMinerMeasures(t *testing.T) {
 }
 
 func TestOptionsNormalization(t *testing.T) {
-	m := NewMiner(db2(t), Options{})
+	// Structurally invalid values are repaired…
+	m := NewMiner(db2(t), Options{Psi: -1})
 	if m.opts.B != 4 || m.opts.Psi != 0.5 || m.opts.MaxLeaves != 100 {
 		t.Fatalf("defaults not applied: %+v", m.opts)
+	}
+	// …but explicit zeros are honored: ψ = 0 is a meaningful setting
+	// (threshold disabled), not a request for the default.
+	z := NewMiner(db2(t), Options{Psi: 0})
+	if z.opts.Psi != 0 {
+		t.Fatalf("explicit Psi 0 promoted to %g", z.opts.Psi)
+	}
+	d := NewMiner(db2(t), DefaultOptions())
+	if d.opts.Psi != 0.5 || d.opts.B != 4 || d.opts.MaxLeaves != 100 {
+		t.Fatalf("DefaultOptions diverged: %+v", d.opts)
 	}
 }
 

@@ -7,9 +7,17 @@ import (
 	"structmine/internal/task"
 )
 
-// TaskParams parameterizes one task run; zero values select the paper's
-// defaults (and inherit the Miner's options where they overlap).
+// TaskParams parameterizes one task run. The float knobs are pointers:
+// nil means "not set" (RunTask inherits the Miner's options where they
+// overlap, and the task's own defaults fill the rest), while an
+// explicit value — set with Knob — is honored as given, including 0.
 type TaskParams = task.Params
+
+// Knob wraps a literal for a TaskParams field, making an explicit
+// setting distinct from an unset (nil) knob:
+//
+//	m.RunTask(ctx, "rank-fds", structmine.TaskParams{Psi: structmine.Knob(0)})
+func Knob(v float64) *float64 { return task.F(v) }
 
 // JSON-serializable task results — the single output contract shared by
 // RunTask, the structmine CLI's -json mode, and the structmined server.
@@ -47,16 +55,17 @@ func TaskNames() []string { return task.Names() }
 // JSON-serializable result struct (one of the *Result types above). The
 // context is honored between pipeline stages, so a deadline or
 // cancellation aborts multi-stage jobs at the next stage boundary.
-// Knobs left zero in p inherit the Miner's options.
+// Knobs left unset (nil) in p inherit the Miner's options; explicit
+// values — including explicit zeros, via Knob — are honored as given.
 func (m *Miner) RunTask(ctx context.Context, name string, p TaskParams) (any, error) {
-	if p.PhiT == 0 {
-		p.PhiT = m.opts.PhiT
+	if p.PhiT == nil {
+		p.PhiT = task.F(m.opts.PhiT)
 	}
-	if p.PhiV == 0 {
-		p.PhiV = m.opts.PhiV
+	if p.PhiV == nil {
+		p.PhiV = task.F(m.opts.PhiV)
 	}
-	if p.Psi == 0 {
-		p.Psi = m.opts.Psi
+	if p.Psi == nil {
+		p.Psi = task.F(m.opts.Psi)
 	}
 	return task.Run(ctx, m.r, name, p)
 }
