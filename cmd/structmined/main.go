@@ -84,7 +84,8 @@ func main() {
 func run(args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("structmined", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8421", "listen address (loopback by default; the daemon has no authentication)")
-	workers := fs.Int("workers", 2, "job worker-pool size")
+	workers := fs.Int("workers", 2, "job worker-pool size (how many jobs run concurrently)")
+	procs := fs.Int("procs", 0, "CPU cores the scheduler divides fairly across running jobs (0 = GOMAXPROCS)")
 	queueDepth := fs.Int("queue", 64, "maximum number of queued jobs")
 	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "per-job wall-clock budget")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight jobs")
@@ -122,6 +123,7 @@ func run(args []string, ready chan<- string) error {
 
 	srv := server.New(server.Config{
 		Workers:        *workers,
+		Procs:          *procs,
 		QueueDepth:     *queueDepth,
 		JobTimeout:     *jobTimeout,
 		Limits:         relation.Limits{MaxRows: *maxRows, MaxFields: *maxFields},

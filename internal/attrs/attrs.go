@@ -8,6 +8,8 @@
 package attrs
 
 import (
+	"context"
+
 	"structmine/internal/ib"
 	"structmine/internal/it"
 	"structmine/internal/relation"
@@ -28,21 +30,26 @@ type Grouping struct {
 // Group clusters the attributes of A^D using the duplicate value groups
 // of an attribute-value clustering.
 func Group(r *relation.Relation, c *values.Clustering) *Grouping {
+	return GroupCtx(context.Background(), r, c)
+}
+
+// GroupCtx is Group under the context's worker budget.
+func GroupCtx(ctx context.Context, r *relation.Relation, c *values.Clustering) *Grouping {
 	rows, attrIdx := c.MatrixF()
-	return groupFromF(rows, attrIdx, r.Attrs)
+	return groupFromF(ctx, rows, attrIdx, r.Attrs)
 }
 
 // GroupFromMatrix clusters attributes from an explicit F matrix (used by
 // tests and by the worked-example demo); rows[i] corresponds to
 // attribute attrIdx[i] with the given names.
 func GroupFromMatrix(rows [][]int64, attrIdx []int, names []string) *Grouping {
-	return groupFromF(rows, attrIdx, names)
+	return groupFromF(context.Background(), rows, attrIdx, names)
 }
 
-func groupFromF(rows [][]int64, attrIdx []int, names []string) *Grouping {
+func groupFromF(ctx context.Context, rows [][]int64, attrIdx []int, names []string) *Grouping {
 	g := &Grouping{AttrIdx: attrIdx}
 	if len(rows) == 0 {
-		g.Res = ib.Agglomerate(nil)
+		g.Res = ib.AgglomerateCtx(ctx, nil)
 		return g
 	}
 	objs := make([]ib.Object, len(rows))
@@ -65,7 +72,7 @@ func groupFromF(rows [][]int64, attrIdx []int, names []string) *Grouping {
 		objs[i] = ib.Object{Label: name, P: prior, Cond: it.NewVec(es)}
 		g.Names = append(g.Names, name)
 	}
-	g.Res = ib.Agglomerate(objs)
+	g.Res = ib.AgglomerateCtx(ctx, objs)
 	return g
 }
 

@@ -1,0 +1,157 @@
+package exec
+
+import "testing"
+
+// Chunks carved from one arena never alias: every chunk keeps its own
+// values no matter how many carves (and slab replacements) follow.
+func TestArenaCarveDisjoint(t *testing.T) {
+	a := NewArena()
+	const chunks = 300
+	i32 := make([][]int32, chunks)
+	f64 := make([][]float64, chunks)
+	for i := 0; i < chunks; i++ {
+		c := 1 + (i*37)%150 // varied sizes straddling slab boundaries
+		i32[i] = a.Int32s(c)
+		f64[i] = a.Float64s(c)
+		for j := 0; j < c; j++ {
+			i32[i] = append(i32[i], int32(i))
+			f64[i] = append(f64[i], float64(i))
+		}
+	}
+	for i := range i32 {
+		for j := range i32[i] {
+			if i32[i][j] != int32(i) || f64[i][j] != float64(i) {
+				t.Fatalf("chunk %d slot %d clobbered: %d / %v", i, j, i32[i][j], f64[i][j])
+			}
+		}
+	}
+	if a.CarvedBytes() == 0 {
+		t.Fatal("CarvedBytes = 0 after carving")
+	}
+}
+
+// A carved chunk's append beyond capacity migrates to fresh memory
+// instead of clobbering the neighbor carved right after it.
+func TestArenaCarveCapacityIsHard(t *testing.T) {
+	a := NewArena()
+	x := a.Int32s(4)
+	y := append(a.Int32s(4), 7, 7, 7, 7)
+	x = append(x, 1, 2, 3, 4, 5) // one past capacity: must reallocate
+	_ = x
+	for i, v := range y {
+		if v != 7 {
+			t.Fatalf("neighbor chunk clobbered at %d: %d", i, v)
+		}
+	}
+}
+
+// Reset abandons carved chunks but keeps the largest backing array, so
+// a steady-state reuse cycle stops allocating new slabs.
+func TestArenaResetKeepsBiggestSlab(t *testing.T) {
+	a := NewArena()
+	_ = a.Float64s(3 * arenaMinSlab) // forces growth past the first class
+	grown := cap(a.f64.cur)
+	a.Reset()
+	if a.CarvedBytes() != 0 {
+		t.Fatalf("CarvedBytes = %d after Reset, want 0", a.CarvedBytes())
+	}
+	if got := cap(a.f64.cur); got != grown {
+		t.Fatalf("Reset kept slab of cap %d, want the grown %d", got, grown)
+	}
+	// Re-carving the same volume must fit the retained slab.
+	before := cap(a.f64.cur)
+	_ = a.Float64s(2 * arenaMinSlab)
+	if cap(a.f64.cur) != before {
+		t.Fatal("re-carve after Reset allocated a new slab despite a big enough retained one")
+	}
+}
+
+// Append helpers carve exact-size copies that do not alias the source.
+func TestArenaAppendCopies(t *testing.T) {
+	a := NewArena()
+	src := []int32{1, 2, 3}
+	cp := a.AppendInt32s(src)
+	src[0] = 99
+	if cp[0] != 1 || len(cp) != 3 {
+		t.Fatalf("AppendInt32s aliases its source: %v", cp)
+	}
+	fsrc := []float64{0.5, 1.5}
+	fcp := a.AppendFloat64s(fsrc)
+	fsrc[1] = -1
+	if fcp[1] != 1.5 {
+		t.Fatalf("AppendFloat64s aliases its source: %v", fcp)
+	}
+}
+
+// The pool round-trips arenas through Reset: a returned arena comes
+// back empty and usable.
+func TestArenaPoolRoundTrip(t *testing.T) {
+	a := getArena()
+	_ = a.Int32s(1000)
+	putArena(a)
+	b := getArena()
+	if b.CarvedBytes() != 0 {
+		t.Fatalf("pooled arena not reset: CarvedBytes = %d", b.CarvedBytes())
+	}
+	buf := append(b.Int32s(4), 1, 2, 3, 4)
+	if len(buf) != 4 {
+		t.Fatalf("pooled arena carve broken: %v", buf)
+	}
+	putArena(b)
+}
+
+// Structs hands out stable pointers and disjoint slices: growing the
+// slab never moves or clobbers earlier carves.
+func TestStructsStableAndDisjoint(t *testing.T) {
+	type pair struct{ a, b int }
+	var s Structs[pair]
+	ptrs := make([]*pair, 0, 3*structsMinSlab)
+	for i := 0; i < 3*structsMinSlab; i++ {
+		p := s.New()
+		p.a, p.b = i, -i
+		ptrs = append(ptrs, p)
+	}
+	for i, p := range ptrs {
+		if p.a != i || p.b != -i {
+			t.Fatalf("struct %d moved or clobbered: %+v", i, *p)
+		}
+	}
+	x := s.Slice(10)
+	y := append(s.Slice(10), pair{7, 7})
+	x = append(x, pair{1, 1}, pair{2, 2})
+	_ = x
+	if y[0].a != 7 {
+		t.Fatalf("slices alias: %+v", y[0])
+	}
+}
+
+// Oversized requests (beyond the max slab class) still succeed with a
+// dedicated slab.
+func TestArenaOversizedCarve(t *testing.T) {
+	a := NewArena()
+	huge := a.Int32s(arenaMaxSlab + 1)
+	if cap(huge) < arenaMaxSlab+1 {
+		t.Fatalf("oversized carve capacity %d", cap(huge))
+	}
+	var s Structs[int64]
+	big := s.Slice(structsMaxSlab * 2)
+	if cap(big) < structsMaxSlab*2 {
+		t.Fatalf("oversized struct carve capacity %d", cap(big))
+	}
+}
+
+// Kernel table sanity: every kernel has a name and a positive cutoff,
+// and out-of-range values fall back to Generic.
+func TestKernelTable(t *testing.T) {
+	for k := Kernel(0); k < numKernels; k++ {
+		if k.Cutoff() <= 0 {
+			t.Fatalf("kernel %s has cutoff %d", k, k.Cutoff())
+		}
+		if k.String() == "" {
+			t.Fatalf("kernel %d has no name", k)
+		}
+	}
+	if bogus := Kernel(250); bogus.Cutoff() != Generic.Cutoff() || bogus.String() != Generic.String() {
+		t.Fatal("out-of-range kernel does not fall back to Generic")
+	}
+}

@@ -1,0 +1,77 @@
+package exec
+
+// Kernel names a parallel fan-out site so the cutoff policy and the
+// steal metrics can be per-kernel. The old policy was one constant
+// (par.Cutoff = 4096 work units) for every site; the table below is
+// calibrated per kernel because a "work unit" costs wildly different
+// amounts across them — a full δI evaluation at an AIB pair site versus
+// a handful of probe-table operations per tuple at a TANE product site.
+type Kernel uint8
+
+const (
+	// Generic is the fallback for fan-outs without a calibrated entry.
+	Generic Kernel = iota
+	// AIBPairs: initial δI over the q(q−1)/2 candidate pair space; one
+	// work unit is one δI evaluation over sparse supports (~µs).
+	AIBPairs
+	// AIBRecompute: δI recomputation against a fresh merge; work counts
+	// sparse elements touched (~5 ns each).
+	AIBRecompute
+	// LIMBOClosest: closest-entry δI scan during DCF-tree descent; work
+	// counts entries × (support+1) sparse adds (~5 ns each).
+	LIMBOClosest
+	// LIMBOAssign: object→representative assignment; work counts
+	// objects × representatives δI evaluations (~µs each).
+	LIMBOAssign
+	// TANEProduct: partition products per lattice level; work counts
+	// stripped-partition tuples (~10 ns each).
+	TANEProduct
+
+	numKernels
+)
+
+// cutoffs is the minimum work (in the kernel's own units) below which a
+// fan-out runs serially: spawn+join overhead for a handful of workers
+// is ~10–20 µs (measured by BenchmarkFanoutOverhead in this package),
+// so each entry targets ≥ 10× that in useful work. Expensive-unit
+// kernels (δI evaluations) keep low thresholds; cheap-unit kernels
+// (per-element passes) need far more units to amortize the same
+// overhead. Generic keeps the historical 4096.
+var cutoffs = [numKernels]int{
+	Generic:      4096,
+	AIBPairs:     512,   // ~µs/unit → ~0.5 ms of work
+	AIBRecompute: 16384, // ~5 ns/unit → ~80 µs of work
+	LIMBOClosest: 16384, // ~5 ns/unit → ~80 µs of work
+	LIMBOAssign:  256,   // ~µs/unit → ~0.25 ms of work
+	TANEProduct:  8192,  // ~10 ns/unit → ~80 µs of work
+}
+
+var kernelNames = [numKernels]string{
+	Generic:      "generic",
+	AIBPairs:     "aib_pairs",
+	AIBRecompute: "aib_recompute",
+	LIMBOClosest: "limbo_closest",
+	LIMBOAssign:  "limbo_assign",
+	TANEProduct:  "tane_product",
+}
+
+// Cutoff returns the kernel's serial-below threshold in work units.
+func (k Kernel) Cutoff() int {
+	if k >= numKernels {
+		return cutoffs[Generic]
+	}
+	return cutoffs[k]
+}
+
+func (k Kernel) String() string {
+	if k >= numKernels {
+		return kernelNames[Generic]
+	}
+	return kernelNames[k]
+}
+
+// StealGrain is how many chunks each worker's fair share is split into
+// for work-stealing handout: more chunks than workers, so a worker that
+// lands a skewed chunk sheds the rest of its range to idle peers, but
+// few enough that the per-chunk atomic claim stays negligible.
+const StealGrain = 4

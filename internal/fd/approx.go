@@ -1,9 +1,11 @@
 package fd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"structmine/internal/exec"
 	"structmine/internal/relation"
 )
 
@@ -27,6 +29,14 @@ type ApproxFD struct {
 // exponential in the worst case like any lattice search; the bound keeps
 // interactive use cheap on wide relations.
 func MineApprox(r *relation.Relation, eps float64, maxLHS int) ([]ApproxFD, error) {
+	return MineApproxCtx(context.Background(), r, eps, maxLHS)
+}
+
+// MineApproxCtx is MineApprox with the scratch slabs carved from the
+// context's pooled arena (the lattice walk itself is serial: each level
+// reuses one probe table, and candidate counts stay small under the
+// maxLHS bound).
+func MineApproxCtx(ctx context.Context, r *relation.Relation, eps float64, maxLHS int) ([]ApproxFD, error) {
 	m := r.M()
 	if m > MaxAttrs {
 		return nil, fmt.Errorf("fd: relation has %d attributes, max %d", m, MaxAttrs)
@@ -41,7 +51,7 @@ func MineApprox(r *relation.Relation, eps float64, maxLHS int) ([]ApproxFD, erro
 		maxLHS = m - 1
 	}
 	n := r.N()
-	sc := &prodScratch{} // one reusable probe table for every product and g3 below
+	sc := &prodScratch{ar: exec.CheckoutArena(ctx)} // one reusable probe table for every product and g3 below
 
 	// Partitions per LHS set, built level by level.
 	parts := map[AttrSet]*partition{0: emptyPartition(n)}

@@ -1,6 +1,7 @@
 package fd
 
 import (
+	"context"
 	"fmt"
 
 	"structmine/internal/relation"
@@ -55,8 +56,14 @@ func BruteForce(r *relation.Relation) ([]FD, error) {
 // Discover picks a miner by instance size: FDEP (the paper's choice) for
 // small instances, TANE for large ones. Both return identical FD sets.
 func Discover(r *relation.Relation) ([]FD, error) {
+	return DiscoverCtx(context.Background(), r)
+}
+
+// DiscoverCtx is Discover under the context's worker budget and arena
+// pool (only the TANE branch parallelizes; FDEP is serial).
+func DiscoverCtx(ctx context.Context, r *relation.Relation) ([]FD, error) {
 	if r.N() <= 1000 {
 		return FDEP(r)
 	}
-	return TANE(r)
+	return TANECtx(ctx, r)
 }

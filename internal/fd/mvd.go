@@ -1,6 +1,7 @@
 package fd
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -75,6 +76,12 @@ func MVDHolds(r *relation.Relation, v MVD) bool {
 // maxLHS bound (default 2) and the m ≤ 16 guard keep it interactive.
 // FDs imply MVDs (X → Y ⟹ X →→ Y); pass skipFDImplied to suppress those.
 func MineMVDs(r *relation.Relation, maxLHS int, skipFDImplied bool) ([]MVD, error) {
+	return MineMVDsCtx(context.Background(), r, maxLHS, skipFDImplied)
+}
+
+// MineMVDsCtx is MineMVDs under the context's worker budget (used by the
+// FD-pruning TANE pass).
+func MineMVDsCtx(ctx context.Context, r *relation.Relation, maxLHS int, skipFDImplied bool) ([]MVD, error) {
 	m := r.M()
 	if m > 16 {
 		return nil, fmt.Errorf("fd: MVD mining limited to 16 attributes, got %d", m)
@@ -91,7 +98,7 @@ func MineMVDs(r *relation.Relation, maxLHS int, skipFDImplied bool) ([]MVD, erro
 	var fds []FD
 	if skipFDImplied {
 		var err error
-		fds, err = TANE(r)
+		fds, err = TANECtx(ctx, r)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package fd
 
 import (
+	"context"
 	"sort"
 
 	"structmine/internal/relation"
@@ -87,5 +88,5 @@ func productSerial(a, b *partition, n int) *partition {
 // (TestPropTANEMatchesSerial compares whole runs for exact equality);
 // new callers should use TANE.
 func TANESerial(r *relation.Relation) ([]FD, error) {
-	return runTANE(r, true)
+	return runTANE(context.Background(), r, true)
 }

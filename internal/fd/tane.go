@@ -1,10 +1,12 @@
 package fd
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"structmine/internal/exec"
 	"structmine/internal/par"
 	"structmine/internal/relation"
 )
@@ -17,16 +19,25 @@ import (
 // Partitions are stored flat (one []int32 of tuple ids plus class
 // offsets) and products run through reusable per-worker probe tables, so
 // a level's worth of products costs O(level) allocations instead of
-// O(classes). Per-level products fan out across workers above
-// par.Cutoff; the candidate list is materialized in sorted order first,
+// O(classes). Per-level products fan out across the budgeted workers
+// above the TANEProduct cutoff (see internal/exec); the candidate list
+// is materialized in sorted order first,
 // so the result is independent of scheduling (and SortFDs canonicalizes
 // the output order regardless). TANESerial is the retained reference
 // implementation products are differentially tested against.
 func TANE(r *relation.Relation) ([]FD, error) {
-	return runTANE(r, false)
+	return TANECtx(context.Background(), r)
 }
 
-func runTANE(r *relation.Relation, serial bool) ([]FD, error) {
+// TANECtx is TANE under the context's worker budget and arena pool: the
+// per-level product fan-out is sized by the context's grant (or fixed
+// exec.WithWorkers budget), and partition storage is carved from pooled
+// arenas checked out through the grant.
+func TANECtx(ctx context.Context, r *relation.Relation) ([]FD, error) {
+	return runTANE(ctx, r, false)
+}
+
+func runTANE(ctx context.Context, r *relation.Relation, serial bool) ([]FD, error) {
 	m := r.M()
 	if m > MaxAttrs {
 		return nil, fmt.Errorf("fd: relation has %d attributes, max %d", m, MaxAttrs)
@@ -34,7 +45,7 @@ func runTANE(r *relation.Relation, serial bool) ([]FD, error) {
 	if r.N() == 0 || m == 0 {
 		return nil, nil
 	}
-	t := &tane{r: r, m: m, n: r.N(), full: FullSet(m), cache: map[cplusKey]bool{},
+	t := &tane{ctx: ctx, r: r, m: m, n: r.N(), full: FullSet(m), cache: map[cplusKey]bool{},
 		forceSerial: serial}
 	t.run()
 	SortFDs(t.out)
@@ -128,7 +139,7 @@ type prodScratch struct {
 	elems   []int32 // result accumulation, copied out exact-size
 	offs    []int32
 
-	slab []int32 // arena backing the exact-size copies
+	ar *exec.Arena // arena the exact-size copies are carved from
 }
 
 func (sc *prodScratch) ensure(n int) {
@@ -170,23 +181,18 @@ func (sc *prodScratch) nextClassGen() int32 {
 	return sc.cg
 }
 
-// carve copies src into a chunk of the scratch's slab arena, so the
-// hundreds of partitions a level produces share a handful of backing
+// carve copies src into a chunk of the scratch's arena, so the hundreds
+// of partitions a level produces share a handful of backing
 // allocations. Chunks are never freed individually; a level's partitions
 // die together when the lattice moves two levels past them, releasing
-// their slabs wholesale.
+// their slabs wholesale (pooled arenas return to the engine pool with
+// the grant instead). A scratch without an arena — the public product
+// entry point with a nil scratch — gets a private one.
 func (sc *prodScratch) carve(src []int32) []int32 {
-	if cap(sc.slab)-len(sc.slab) < len(src) {
-		sz := 1 << 14
-		if len(src) > sz {
-			sz = len(src)
-		}
-		sc.slab = make([]int32, 0, sz)
+	if sc.ar == nil {
+		sc.ar = exec.NewArena()
 	}
-	n := len(sc.slab)
-	out := sc.slab[n : n : n+len(src)]
-	sc.slab = sc.slab[: n+len(src) : cap(sc.slab)]
-	return append(out, src...)
+	return sc.ar.AppendInt32s(src)
 }
 
 // product computes the stripped partition Π_{X∪Y} = Π_X · Π_Y with the
@@ -280,6 +286,7 @@ type levelNode struct {
 }
 
 type tane struct {
+	ctx  context.Context // carries the worker budget and arena pool
 	r    *relation.Relation
 	m, n int
 	full AttrSet
@@ -300,7 +307,9 @@ type cplusKey struct {
 
 func (t *tane) scratch(w int) *prodScratch {
 	for len(t.scs) <= w {
-		t.scs = append(t.scs, &prodScratch{})
+		// One arena per worker: carves stay single-goroutine while the
+		// backing slabs are pooled (and recycled with the job's grant).
+		t.scs = append(t.scs, &prodScratch{ar: exec.CheckoutArena(t.ctx)})
 	}
 	return t.scs[w]
 }
@@ -474,14 +483,14 @@ func (t *tane) generate(level map[AttrSet]*levelNode) map[AttrSet]*levelNode {
 		for i, c := range cands {
 			parts[i] = productSerial(level[c.x].part, level[c.y].part, t.n)
 		}
-	case par.NumWorkers(len(cands), work) <= 1:
+	case par.NumWorkers(t.ctx, exec.TANEProduct, len(cands), work) <= 1:
 		sc := t.scratch(0)
 		for i, c := range cands {
 			parts[i] = product(level[c.x].part, level[c.y].part, t.n, sc)
 		}
 	default:
-		t.scratch(par.NumWorkers(len(cands), work) - 1)
-		par.ForChunk(len(cands), work, func(w, lo, hi int) {
+		t.scratch(par.NumWorkers(t.ctx, exec.TANEProduct, len(cands), work) - 1)
+		par.ForChunk(t.ctx, exec.TANEProduct, len(cands), work, func(w, lo, hi int) {
 			sc := t.scs[w]
 			for i := lo; i < hi; i++ {
 				parts[i] = product(level[cands[i].x].part, level[cands[i].y].part, t.n, sc)

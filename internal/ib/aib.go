@@ -12,6 +12,7 @@
 package ib
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -52,6 +53,12 @@ func Agglomerate(objects []Object) *Result {
 	return AgglomerateK(objects, 1)
 }
 
+// AgglomerateCtx is Agglomerate under the context's worker budget (a
+// scheduler grant or a fixed exec.WithWorkers budget).
+func AgglomerateCtx(ctx context.Context, objects []Object) *Result {
+	return AgglomerateKCtx(ctx, objects, 1)
+}
+
 // pairItem is a candidate merge in the priority queue. Stale items (whose
 // endpoints have since merged) are discarded lazily on pop.
 type pairItem struct {
@@ -74,10 +81,16 @@ func lessPair(x, y pairItem) bool {
 	return x.b < y.b
 }
 
-// AgglomerateK runs AIB until k clusters remain. Candidate δI values are
-// computed in parallel (see parallel.go); the merge sequence is
-// bit-identical to AgglomerateKSerial's for any GOMAXPROCS.
+// AgglomerateK runs AIB until k clusters remain under the GOMAXPROCS
+// fallback budget. Candidate δI values are computed in parallel (see
+// parallel.go); the merge sequence is bit-identical to
+// AgglomerateKSerial's for any worker budget.
 func AgglomerateK(objects []Object, k int) *Result {
+	return AgglomerateKCtx(context.Background(), objects, k)
+}
+
+// AgglomerateKCtx is AgglomerateK under the context's worker budget.
+func AgglomerateKCtx(ctx context.Context, objects []Object, k int) *Result {
 	q := len(objects)
 	res := &Result{Objects: objects}
 	if q == 0 || k >= q {
@@ -95,7 +108,7 @@ func AgglomerateK(objects []Object, k int) *Result {
 	for i := range res.parent {
 		res.parent[i] = -1
 	}
-	e := newEngine(objects)
+	e := newEngine(ctx, objects)
 	for e.aliveCount > k {
 		if !e.step(res) {
 			// Should not happen; defensive.

@@ -1,0 +1,40 @@
+package ib
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"structmine/internal/exec"
+)
+
+// The determinism contract of the execution engine, pinned at the AIB
+// kernels: any fixed worker budget must reproduce the serial reference
+// bit for bit — budgets only repartition the candidate index space,
+// never the per-candidate arithmetic or the (loss, a, b) pop order.
+func TestPropBudgetSweepMatchesSerial(t *testing.T) {
+	cases := []struct {
+		q, dims int
+		tied    bool
+	}{
+		{8, 10, false}, {34, 16, true}, {96, 24, false}, {128, 16, true},
+	}
+	seed := int64(101)
+	for _, c := range cases {
+		r := rand.New(rand.NewSource(seed))
+		var objs []Object
+		if c.tied {
+			objs = tiedObjects(r, c.q, c.dims)
+		} else {
+			objs = randomObjects(r, c.q, c.dims)
+		}
+		k := 1 + r.Intn(c.q/2)
+		want := AgglomerateKSerial(objs, k)
+		for _, budget := range []int{1, 2, 4, 8} {
+			ctx := exec.WithWorkers(context.Background(), budget)
+			got := AgglomerateKCtx(ctx, objs, k)
+			assertSameResult(t, seed*1000+int64(budget), got, want)
+		}
+		seed++
+	}
+}

@@ -1,8 +1,10 @@
 package ib
 
 import (
+	"context"
 	"sort"
 
+	"structmine/internal/exec"
 	"structmine/internal/it"
 	"structmine/internal/par"
 )
@@ -33,17 +35,20 @@ type cluster struct {
 // reference in serial.go mirrors this logic with plain loops; property
 // tests assert the two produce bit-identical merge sequences.
 type engine struct {
+	ctx        context.Context // carries the worker budget for every fan-out
 	clusters   []cluster
 	alive      []bool
 	aliveCount int
 	h          minHeap[pairItem]
-	scratch    []pairItem // per-merge candidate buffer, reused across steps
-	ids        []int      // alive-id list scratch, reused across steps
+	mem        exec.Structs[pairItem] // slab behind the candidate buffers
+	scratch    []pairItem             // per-merge candidate buffer, reused across steps
+	ids        []int                  // alive-id list scratch, reused across steps
 }
 
-func newEngine(objects []Object) *engine {
+func newEngine(ctx context.Context, objects []Object) *engine {
 	q := len(objects)
 	e := &engine{
+		ctx:        ctx,
 		clusters:   make([]cluster, q, 2*q-1),
 		alive:      make([]bool, q, 2*q-1),
 		aliveCount: q,
@@ -70,7 +75,7 @@ func newEngine(objects []Object) *engine {
 func (e *engine) buildInitialCandidates() {
 	q := len(e.clusters)
 	total := q * (q - 1) / 2
-	items := make([]pairItem, total)
+	items := e.mem.Slice(total)[:total]
 	// rowStart[i] is the flat index of pair (i, i+1); row i holds pairs
 	// (i, i+1) .. (i, q−1).
 	rowStart := make([]int, q)
@@ -79,7 +84,7 @@ func (e *engine) buildInitialCandidates() {
 		rowStart[i] = off
 		off += q - 1 - i
 	}
-	par.For(total, total, func(lo, hi int) {
+	par.For(e.ctx, exec.AIBPairs, total, total, func(lo, hi int) {
 		// Locate the (i, j) pair at flat index lo, then walk forward.
 		i := sort.Search(q, func(r int) bool { return rowStart[r] > lo }) - 1
 		j := i + 1 + (lo - rowStart[i])
@@ -160,13 +165,13 @@ func (e *engine) pushMergeCandidates(node int) {
 		return
 	}
 	if cap(e.scratch) < len(ids) {
-		e.scratch = make([]pairItem, len(ids))
+		e.scratch = e.mem.Slice(len(ids))
 	}
 	buf := e.scratch[:len(ids)]
 	nc := e.clusters[node]
 	// Work estimate: each δI walks the merged conditional's support,
 	// which dominates the pairing cost.
-	par.For(len(ids), len(ids)*(len(nc.cond)+1), func(lo, hi int) {
+	par.For(e.ctx, exec.AIBRecompute, len(ids), len(ids)*(len(nc.cond)+1), func(lo, hi int) {
 		for k := lo; k < hi; k++ {
 			c := e.clusters[ids[k]]
 			buf[k] = pairItem{

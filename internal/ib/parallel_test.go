@@ -81,7 +81,8 @@ func TestPropParallelMatchesSerial(t *testing.T) {
 	cases := []cse{
 		{2, 4, false}, {3, 4, false}, {5, 6, true}, {8, 10, false},
 		{13, 8, true}, {21, 12, false}, {34, 16, true}, {48, 20, false},
-		// q ≥ 92 crosses par.Cutoff for the initial pair generation,
+		// q ≥ 32 crosses the aib_pairs cutoff for the initial pair
+		// generation,
 		// q ≥ 96 lets heap compaction fire mid-run.
 		{96, 24, false}, {96, 24, true}, {128, 32, false}, {128, 16, true},
 	}

@@ -1,31 +1,27 @@
 package limbo
 
-// arena is the Tree-owned slab allocator behind Phase 1's allocation
-// budget: DCF structs, tree nodes/entries and the sparse-sum buffers are
-// carved out of large slabs, so streaming 50k objects costs O(slabs)
-// allocations instead of O(inserts). Chunks are never freed
-// individually — a buffer outgrown by consolidation is simply abandoned
-// inside its slab (bounded waste: growth is geometric, so total carve
-// volume is a constant factor of the live size). Everything carved from
-// the arena stays reachable through it, which is fine: the arena lives
-// exactly as long as its Tree, and the DCFs the Tree hands out
-// (Tree.Leaves) are meant to outlive inserts anyway.
-//
-// The arena is single-goroutine like the Tree that owns it.
-type arena struct {
-	i32   []int32
-	f64   []float64
-	dcfs  []DCF
-	ents  []entry
-	eptrs []*entry
-	nodes []node
-}
+import (
+	"context"
 
-const (
-	arenaNumSlab    = 1 << 13 // numeric slab: 8192 entries
-	arenaStructSlab = 256     // struct slabs: 256 DCFs / entries / nodes
+	"structmine/internal/exec"
 )
 
+// arena is the Tree-owned allocation front-end behind Phase 1's
+// allocation budget: DCF structs, tree nodes/entries and the sparse-sum
+// buffers are carved out of large slabs, so streaming 50k objects costs
+// O(slabs) allocations instead of O(inserts). The slabs themselves come
+// from the execution engine (internal/exec): the numeric tiers live in
+// an exec.Arena — pooled across jobs when the tree is built under a
+// scheduler grant — and the typed structs in exec.Structs slabs that die
+// with the Tree. Chunks are never freed individually; a buffer outgrown
+// by consolidation is simply abandoned inside its slab (bounded waste:
+// growth is geometric, so total carve volume is a constant factor of the
+// live size).
+//
+// The arena is single-goroutine like the Tree that owns it. When the
+// numeric arena is pooled, nothing carved from it may outlive the
+// grant — the Tree and its DCFs are job-local, and every task result is
+// rebuilt from plain values (the exec aliasing contract).
 func maxInt(a, b int) int {
 	if a > b {
 		return a
@@ -33,64 +29,48 @@ func maxInt(a, b int) int {
 	return b
 }
 
+type arena struct {
+	num   *exec.Arena
+	dcfs  exec.Structs[DCF]
+	ents  exec.Structs[entry]
+	eptrs exec.Structs[*entry]
+	nodes exec.Structs[node]
+}
+
+// init points the numeric slabs at the context's pooled arena (or a
+// private one without a grant). Called once by NewTreeCtx.
+func (a *arena) init(ctx context.Context) {
+	if a.num == nil {
+		a.num = exec.CheckoutArena(ctx)
+	}
+}
+
 // int32s carves a zero-length chunk with capacity c.
 func (a *arena) int32s(c int) []int32 {
-	if cap(a.i32)-len(a.i32) < c {
-		a.i32 = make([]int32, 0, maxInt(arenaNumSlab, c))
+	if a.num == nil {
+		a.num = exec.NewArena()
 	}
-	n := len(a.i32)
-	out := a.i32[n : n : n+c]
-	a.i32 = a.i32[: n+c : cap(a.i32)]
-	return out
+	return a.num.Int32s(c)
 }
 
 // float64s carves a zero-length chunk with capacity c.
 func (a *arena) float64s(c int) []float64 {
-	if cap(a.f64)-len(a.f64) < c {
-		a.f64 = make([]float64, 0, maxInt(arenaNumSlab, c))
+	if a.num == nil {
+		a.num = exec.NewArena()
 	}
-	n := len(a.f64)
-	out := a.f64[n : n : n+c]
-	a.f64 = a.f64[: n+c : cap(a.f64)]
-	return out
+	return a.num.Float64s(c)
 }
 
-func (a *arena) dcf() *DCF {
-	if len(a.dcfs) == cap(a.dcfs) {
-		a.dcfs = make([]DCF, 0, arenaStructSlab)
-	}
-	a.dcfs = a.dcfs[:len(a.dcfs)+1]
-	return &a.dcfs[len(a.dcfs)-1]
-}
+func (a *arena) dcf() *DCF { return a.dcfs.New() }
 
-func (a *arena) entry() *entry {
-	if len(a.ents) == cap(a.ents) {
-		a.ents = make([]entry, 0, arenaStructSlab)
-	}
-	a.ents = a.ents[:len(a.ents)+1]
-	return &a.ents[len(a.ents)-1]
-}
+func (a *arena) entry() *entry { return a.ents.New() }
 
-func (a *arena) node() *node {
-	if len(a.nodes) == cap(a.nodes) {
-		a.nodes = make([]node, 0, arenaStructSlab)
-	}
-	a.nodes = a.nodes[:len(a.nodes)+1]
-	return &a.nodes[len(a.nodes)-1]
-}
+func (a *arena) node() *node { return a.nodes.New() }
 
 // entrySlice carves a zero-length entry-pointer slice with capacity c
 // (a node's child list; c is B+1 so the pre-split overflow never grows
 // it).
-func (a *arena) entrySlice(c int) []*entry {
-	if cap(a.eptrs)-len(a.eptrs) < c {
-		a.eptrs = make([]*entry, 0, maxInt(1024, c))
-	}
-	n := len(a.eptrs)
-	out := a.eptrs[n : n : n+c]
-	a.eptrs = a.eptrs[: n+c : cap(a.eptrs)]
-	return out
-}
+func (a *arena) entrySlice(c int) []*entry { return a.eptrs.Slice(c) }
 
 // newDCF builds a singleton DCF inside the arena from a preloaded
 // object context, reusing its already-computed logarithms.

@@ -19,7 +19,8 @@ func forceParallel() func() {
 }
 
 // wideObj builds an object with a support wide enough that the
-// closest-entry search clears par.Cutoff and actually fans out.
+// closest-entry search clears the limbo_closest kernel cutoff and
+// actually fans out.
 func wideObj(r *rand.Rand, id int32, domain, support int, w float64) Obj {
 	seen := make(map[int32]bool, support)
 	vals := make([]int32, 0, support)
@@ -81,7 +82,7 @@ func TestPropInsertParallelMatchesSerial(t *testing.T) {
 		objs := make([]Obj, n)
 		for i := range objs {
 			// Wide supports push the closest-entry work estimate past
-			// par.Cutoff so the parallel branch really runs.
+			// the kernel cutoff so the parallel branch really runs.
 			objs[i] = wideObj(r, int32(i), 4000, 900+r.Intn(300), 1.0/float64(n))
 		}
 		tau := Threshold(0.3, MutualInfo(objs), n)

@@ -1,8 +1,10 @@
 package limbo
 
 import (
+	"context"
 	"math"
 
+	"structmine/internal/exec"
 	"structmine/internal/ib"
 	"structmine/internal/it"
 	"structmine/internal/par"
@@ -12,11 +14,16 @@ import (
 // returns the full merge result. Labels are synthesized from each leaf's
 // first member id.
 func Phase2(leaves []*DCF, k int) *ib.Result {
+	return Phase2Ctx(context.Background(), leaves, k)
+}
+
+// Phase2Ctx is Phase2 under the context's worker budget.
+func Phase2Ctx(ctx context.Context, leaves []*DCF, k int) *ib.Result {
 	objs := make([]ib.Object, len(leaves))
 	for i, d := range leaves {
 		objs[i] = ib.Object{Label: leafLabel(d), P: d.W, Cond: d.Cond()}
 	}
-	return ib.AgglomerateK(objs, k)
+	return ib.AgglomerateKCtx(ctx, objs, k)
 }
 
 func leafLabel(d *DCF) string {
@@ -80,8 +87,13 @@ type Assignment struct {
 // chunking policy are the shared ones in internal/par, the same pool the
 // AIB engine behind Phase 2 uses.
 func Assign(reps []*DCF, objs []Obj) []Assignment {
+	return AssignCtx(context.Background(), reps, objs)
+}
+
+// AssignCtx is Assign under the context's worker budget.
+func AssignCtx(ctx context.Context, reps []*DCF, objs []Obj) []Assignment {
 	out := make([]Assignment, len(objs))
-	par.For(len(objs), len(objs)*len(reps), func(lo, hi int) {
+	par.For(ctx, exec.LIMBOAssign, len(objs), len(objs)*len(reps), func(lo, hi int) {
 		for oi := lo; oi < hi; oi++ {
 			best, bestDist := -1, math.Inf(1)
 			for ri, r := range reps {
@@ -146,8 +158,14 @@ func Threshold(phi, mutualInfo float64, numObjects int) float64 {
 // τ = φ·I(V;T)/|V| (I computed exactly from the objects) and returns the
 // populated tree.
 func BuildTree(objs []Obj, phi float64, b int) *Tree {
+	return BuildTreeCtx(context.Background(), objs, phi, b)
+}
+
+// BuildTreeCtx is BuildTree under the context's worker budget and arena
+// pool.
+func BuildTreeCtx(ctx context.Context, objs []Obj, phi float64, b int) *Tree {
 	tau := Threshold(phi, MutualInfo(objs), len(objs))
-	t := NewTree(Config{B: b, Threshold: tau})
+	t := NewTreeCtx(ctx, Config{B: b, Threshold: tau})
 	for _, o := range objs {
 		t.Insert(o)
 	}
@@ -158,7 +176,13 @@ func BuildTree(objs []Obj, phi float64, b int) *Tree {
 // horizontal-partitioning protocol: "pick a number of leaves that is
 // sufficiently large").
 func BuildTreeMaxLeaves(objs []Obj, maxLeaves, b int) *Tree {
-	t := NewTree(Config{B: b, MaxLeafEntries: maxLeaves})
+	return BuildTreeMaxLeavesCtx(context.Background(), objs, maxLeaves, b)
+}
+
+// BuildTreeMaxLeavesCtx is BuildTreeMaxLeaves under the context's
+// worker budget and arena pool.
+func BuildTreeMaxLeavesCtx(ctx context.Context, objs []Obj, maxLeaves, b int) *Tree {
+	t := NewTreeCtx(ctx, Config{B: b, MaxLeafEntries: maxLeaves})
 	for _, o := range objs {
 		t.Insert(o)
 	}

@@ -1,10 +1,12 @@
 package limbo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"structmine/internal/exec"
 	"structmine/internal/it"
 	"structmine/internal/par"
 )
@@ -44,6 +46,7 @@ const thresholdEps = 1e-12
 // goroutine; the read-only DCFs it hands out (Leaves) are safe to share
 // afterwards.
 type Tree struct {
+	ctx         context.Context // carries the worker budget for closest-entry fan-outs
 	cfg         Config
 	root        *node
 	leafEntries int
@@ -88,12 +91,22 @@ type entry struct {
 	child *node // nil iff owning node is a leaf
 }
 
-// NewTree creates an empty DCF-tree. B defaults to 4 when non-positive.
+// NewTree creates an empty DCF-tree under the GOMAXPROCS fallback
+// budget. B defaults to 4 when non-positive.
 func NewTree(cfg Config) *Tree {
+	return NewTreeCtx(context.Background(), cfg)
+}
+
+// NewTreeCtx creates an empty DCF-tree under the context's worker
+// budget; when the context carries a scheduler grant, the tree's
+// numeric slabs are checked out of the process arena pool and recycled
+// when the grant is released (the Tree must not outlive it).
+func NewTreeCtx(ctx context.Context, cfg Config) *Tree {
 	if cfg.B <= 1 {
 		cfg.B = 4
 	}
-	t := &Tree{cfg: cfg, nodes: 1, height: 1}
+	t := &Tree{ctx: ctx, cfg: cfg, nodes: 1, height: 1}
+	t.ar.init(ctx)
 	t.sc.ar = &t.ar
 	t.root = t.newNode(true)
 	return t
@@ -225,11 +238,11 @@ func (t *Tree) closest(entries []*entry, d *DCF) (int, float64) {
 	// lives out here so the (overwhelmingly common) serial path never
 	// constructs the parallel closure.
 	work := len(entries) * (d.SupportLen() + 1)
-	if par.NumWorkers(len(entries), work) <= 1 {
+	if par.NumWorkers(t.ctx, exec.LIMBOClosest, len(entries), work) <= 1 {
 		return closestEntrySerial(entries, d)
 	}
 	dist := t.distBuf(len(entries))
-	par.For(len(entries), work, func(lo, hi int) {
+	par.For(t.ctx, exec.LIMBOClosest, len(entries), work, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dist[i] = DeltaIDCF(entries[i].dcf, d)
 		}
@@ -248,7 +261,7 @@ func (t *Tree) closestObj(entries []*entry, o Obj) (int, float64) {
 		return -1, math.Inf(1)
 	}
 	work := len(entries) * (len(o.Cond) + 1)
-	if par.NumWorkers(len(entries), work) <= 1 {
+	if par.NumWorkers(t.ctx, exec.LIMBOClosest, len(entries), work) <= 1 {
 		best, bestDist := -1, math.Inf(1)
 		for i, e := range entries {
 			if dist := deltaIObjCtx(e.dcf, &t.octx, t.posRow(i)); dist < bestDist {
@@ -258,7 +271,7 @@ func (t *Tree) closestObj(entries []*entry, o Obj) (int, float64) {
 		return best, bestDist
 	}
 	dist := t.distBuf(len(entries))
-	par.For(len(entries), work, func(lo, hi int) {
+	par.For(t.ctx, exec.LIMBOClosest, len(entries), work, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			dist[i] = deltaIObjCtx(entries[i].dcf, &t.octx, t.posRow(i))
 		}

@@ -2,28 +2,28 @@
 // CPU-bound inner loops of the miner: AIB candidate generation and
 // post-merge recomputation (internal/ib), LIMBO's Phase 3 assignment
 // scan and Phase 1 closest-entry search (internal/limbo), and TANE's
-// per-level partition products (internal/fd). Centralizing the cutoff
-// and chunking here keeps the serial/parallel decision consistent across
-// call sites and gives tests one knob to reason about.
+// per-level partition products (internal/fd). It is a thin veneer over
+// the execution engine (internal/exec): worker counts come from the
+// context's budget (a scheduler grant, a fixed test budget, or the
+// GOMAXPROCS fallback), the serial/parallel decision comes from the
+// per-kernel cutoff table, and chunks are handed out by work-stealing
+// so one skewed chunk cannot serialize the tail.
 package par
 
 import (
-	"runtime"
+	"context"
 	"sync"
+	"sync/atomic"
+
+	"structmine/internal/exec"
 )
 
-// Cutoff is the minimum estimated work, in kernel evaluations (δI / JS
-// computations or comparable units), below which For runs the loop
-// serially. Small workloads are dominated by goroutine startup and
-// barrier cost; this value matches the cutoff LIMBO's assignment scan
-// shipped with.
-const Cutoff = 4096
-
-// For partitions the index range [0, n) into one contiguous chunk per
-// available worker and invokes fn(lo, hi) on each chunk concurrently,
-// returning when every chunk is done. When the estimated work is below
-// Cutoff, or only one P is available, fn runs once on the caller's
-// goroutine as fn(0, n) — no goroutines are spawned.
+// For partitions the index range [0, n) across the context's worker
+// budget and invokes fn(lo, hi) on each chunk concurrently, returning
+// when every index is covered. When the estimated work (in the kernel's
+// own units) is below the kernel's cutoff, or the budget is one worker,
+// fn runs once on the caller's goroutine as fn(0, n) — no goroutines
+// are spawned.
 //
 // fn must be safe to run concurrently on disjoint ranges: writes must go
 // to per-index slots (out[i]) or otherwise not alias across chunks.
@@ -31,59 +31,81 @@ const Cutoff = 4096
 // need deterministic results must make fn(i) independent of chunk
 // boundaries, which every call site in this repo does (pure per-index
 // computation into a preallocated slice).
-func For(n, work int, fn func(lo, hi int)) {
-	ForChunk(n, work, func(_, lo, hi int) { fn(lo, hi) })
+func For(ctx context.Context, k exec.Kernel, n, work int, fn func(lo, hi int)) {
+	ForChunk(ctx, k, n, work, func(_, lo, hi int) { fn(lo, hi) })
 }
 
-// NumWorkers returns how many chunks ForChunk will use for the given
-// workload — the bound on the chunk index w its callback can see.
+// NumWorkers returns how many workers ForChunk will use for the given
+// workload — the bound on the worker index w its callback can see.
 // Callers that keep per-worker scratch state (e.g. TANE's probe tables)
 // size their scratch slice with it before fanning out, so the workers
 // only ever index, never grow, shared state.
-func NumWorkers(n, work int) int {
+func NumWorkers(ctx context.Context, k exec.Kernel, n, work int) int {
 	if n <= 0 {
 		return 0
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := exec.Workers(ctx)
 	if workers > n {
 		workers = n
 	}
-	if work < Cutoff || workers < 2 {
+	if work < k.Cutoff() || workers < 2 {
 		return 1
 	}
-	// chunk sizes round up, so the final chunk may be folded away.
-	chunk := (n + workers - 1) / workers
-	return (n + chunk - 1) / chunk
+	return workers
 }
 
-// ForChunk is For with the chunk index exposed: fn(w, lo, hi) with
-// 0 ≤ w < NumWorkers(n, work) and w == lo/chunkSize. Each chunk runs on
-// its own goroutine (or the caller's, when serial), so state indexed by
-// w is worker-private for the duration of the call.
-func ForChunk(n, work int, fn func(w, lo, hi int)) {
+// ForChunk is For with the worker index exposed: fn(w, lo, hi) with
+// 0 ≤ w < NumWorkers(ctx, k, n, work). Each worker runs on its own
+// goroutine (or the caller's, when serial) and claims chunks from a
+// shared queue, so state indexed by w is worker-private for the
+// duration of the call while skewed chunks still spread across idle
+// workers. Chunks a worker executes outside its home range are counted
+// as steals in structmine_exec_steals_total.
+func ForChunk(ctx context.Context, k exec.Kernel, n, work int, fn func(w, lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if work < Cutoff || workers < 2 {
+	workers := NumWorkers(ctx, k, n, work)
+	if workers <= 1 {
 		fn(0, 0, n)
 		return
 	}
-	chunk := (n + workers - 1) / workers
+	// Work-stealing handout: split the range into StealGrain chunks per
+	// worker, claimed off one atomic counter. Claims are in index order,
+	// so a worker that finishes its share early continues into a slower
+	// peer's range instead of idling at the barrier.
+	numChunks := workers * exec.StealGrain
+	if numChunks > n {
+		numChunks = n
+	}
+	chunk := (n + numChunks - 1) / numChunks
+	numChunks = (n + chunk - 1) / chunk
+	perWorker := (numChunks + workers - 1) / workers
+
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
 			defer wg.Done()
-			fn(w, lo, hi)
-		}(lo/chunk, lo, hi)
+			steals := 0
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
+					break
+				}
+				if c/perWorker != w {
+					steals++
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(w, lo, hi)
+			}
+			exec.CountSteals(k, steals)
+		}(w)
 	}
 	wg.Wait()
 }

@@ -1,17 +1,21 @@
 package par
 
 import (
-	"runtime"
+	"context"
 	"sync"
 	"testing"
+
+	"structmine/internal/exec"
 )
 
-// coverage runs For and records how many times each index was visited.
-func coverage(t *testing.T, n, work int) []int32 {
+// coverage runs For under a fixed budget and records how many times
+// each index was visited.
+func coverage(t *testing.T, budget, n, work int) []int32 {
 	t.Helper()
+	ctx := exec.WithWorkers(context.Background(), budget)
 	hits := make([]int32, n)
 	var mu sync.Mutex
-	For(n, work, func(lo, hi int) {
+	For(ctx, exec.Generic, n, work, func(lo, hi int) {
 		if lo < 0 || hi > n || lo > hi {
 			t.Errorf("bad range [%d, %d) for n=%d", lo, hi, n)
 		}
@@ -34,35 +38,37 @@ func assertEachOnce(t *testing.T, hits []int32) {
 }
 
 func TestForCoversRangeSerial(t *testing.T) {
-	// work below Cutoff forces the serial path.
-	assertEachOnce(t, coverage(t, 100, 1))
+	// work below the cutoff forces the serial path.
+	assertEachOnce(t, coverage(t, 4, 100, 1))
 }
 
 func TestForCoversRangeParallel(t *testing.T) {
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
-	assertEachOnce(t, coverage(t, 10_001, Cutoff*10))
+	for _, budget := range []int{1, 2, 4, 8} {
+		assertEachOnce(t, coverage(t, budget, 10_001, exec.Generic.Cutoff()*10))
+	}
 }
 
 func TestForEmptyAndTiny(t *testing.T) {
+	ctx := exec.WithWorkers(context.Background(), 4)
+	big := exec.Generic.Cutoff() * 10
 	called := false
-	For(0, Cutoff*10, func(lo, hi int) { called = true })
+	For(ctx, exec.Generic, 0, big, func(lo, hi int) { called = true })
 	if called {
 		t.Fatal("fn invoked for n=0")
 	}
-	For(-3, Cutoff*10, func(lo, hi int) { called = true })
+	For(ctx, exec.Generic, -3, big, func(lo, hi int) { called = true })
 	if called {
 		t.Fatal("fn invoked for n<0")
 	}
-	// n smaller than the worker count still covers every index once.
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
-	assertEachOnce(t, coverage(t, 3, Cutoff*10))
+	// n smaller than the worker budget still covers every index once.
+	assertEachOnce(t, coverage(t, 8, 3, big))
 }
 
 func TestForParallelWritesDisjointSlots(t *testing.T) {
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	ctx := exec.WithWorkers(context.Background(), 4)
 	n := 50_000
 	out := make([]int, n)
-	For(n, n, func(lo, hi int) {
+	For(ctx, exec.Generic, n, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = i * i
 		}
@@ -71,5 +77,55 @@ func TestForParallelWritesDisjointSlots(t *testing.T) {
 		if v != i*i {
 			t.Fatalf("out[%d] = %d", i, v)
 		}
+	}
+}
+
+// TestForChunkWorkerIndexBounded pins the per-worker scratch contract:
+// every w seen by the callback is in [0, NumWorkers) and two goroutines
+// never share a w concurrently (checked via a per-w owner slot).
+func TestForChunkWorkerIndexBounded(t *testing.T) {
+	ctx := exec.WithWorkers(context.Background(), 4)
+	n := 40_000
+	workers := NumWorkers(ctx, exec.Generic, n, n)
+	if workers != 4 {
+		t.Fatalf("NumWorkers = %d, want 4", workers)
+	}
+	busy := make([]sync.Mutex, workers)
+	covered := make([]int32, n)
+	var mu sync.Mutex
+	ForChunk(ctx, exec.Generic, n, n, func(w, lo, hi int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker index %d out of [0, %d)", w, workers)
+			return
+		}
+		if !busy[w].TryLock() {
+			t.Errorf("worker index %d used concurrently", w)
+			return
+		}
+		defer busy[w].Unlock()
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			covered[i]++
+		}
+		mu.Unlock()
+	})
+	assertEachOnce(t, covered)
+}
+
+// TestNumWorkersRespectsBudget: the context budget, not GOMAXPROCS,
+// decides the fan-out width (the pre-engine behavior read GOMAXPROCS
+// directly, so concurrent jobs oversubscribed cores).
+func TestNumWorkersRespectsBudget(t *testing.T) {
+	big := exec.Generic.Cutoff() * 10
+	for _, budget := range []int{1, 2, 4, 8} {
+		ctx := exec.WithWorkers(context.Background(), budget)
+		if got := NumWorkers(ctx, exec.Generic, 1<<20, big); got != budget {
+			t.Fatalf("budget %d: NumWorkers = %d", budget, got)
+		}
+	}
+	// Below the cutoff the fan-out is always serial.
+	ctx := exec.WithWorkers(context.Background(), 8)
+	if got := NumWorkers(ctx, exec.Generic, 1<<20, exec.Generic.Cutoff()-1); got != 1 {
+		t.Fatalf("below-cutoff NumWorkers = %d, want 1", got)
 	}
 }

@@ -7,6 +7,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -101,6 +102,12 @@ type RankedFD struct {
 
 // Generate runs the pipeline over the relation.
 func Generate(r *relation.Relation, opts Options) (*Report, error) {
+	return GenerateCtx(context.Background(), r, opts)
+}
+
+// GenerateCtx is Generate under the context's worker budget and arena
+// pool.
+func GenerateCtx(ctx context.Context, r *relation.Relation, opts Options) (*Report, error) {
 	opts = opts.normalized()
 	rep := &Report{
 		Relation: r.Name,
@@ -126,7 +133,7 @@ func Generate(r *relation.Relation, opts Options) (*Report, error) {
 	}
 
 	// Duplicate tuples.
-	dup := tuples.FindDuplicates(r, opts.PhiT, 4)
+	dup := tuples.FindDuplicatesCtx(ctx, r, opts.PhiT, 4)
 	for _, g := range dup.Groups {
 		if len(g) >= 2 {
 			rep.DuplicateTupleGroups = append(rep.DuplicateTupleGroups, g)
@@ -134,7 +141,7 @@ func Generate(r *relation.Relation, opts Options) (*Report, error) {
 	}
 
 	// Duplicate value groups + attribute grouping.
-	vc := values.ClusterRelation(r, opts.PhiV, 4)
+	vc := values.ClusterRelationCtx(ctx, r, opts.PhiV, 4)
 	for _, gi := range vc.DuplicateGroups() {
 		g := vc.Groups[gi]
 		if len(g.Values) < 2 {
@@ -146,7 +153,7 @@ func Generate(r *relation.Relation, opts Options) (*Report, error) {
 		}
 		rep.DuplicateValueGroups = append(rep.DuplicateValueGroups, labels)
 	}
-	rep.Grouping = attrs.Group(r, vc)
+	rep.Grouping = attrs.GroupCtx(ctx, r, vc)
 
 	// Candidate keys and ranked dependencies.
 	if !opts.SkipFDs {
@@ -155,7 +162,7 @@ func Generate(r *relation.Relation, opts Options) (*Report, error) {
 				rep.CandidateKeys = append(rep.CandidateKeys, k.Format(r.Attrs))
 			}
 		}
-		fds, err := fd.Discover(r)
+		fds, err := fd.DiscoverCtx(ctx, r)
 		if err != nil {
 			return nil, fmt.Errorf("report: mining dependencies: %w", err)
 		}

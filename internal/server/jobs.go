@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"structmine/internal/exec"
 	"structmine/internal/obs"
 	"structmine/internal/store"
 	"structmine/internal/task"
@@ -54,6 +55,7 @@ type Job struct {
 	recovered bool
 	result    any
 	trace     obs.TraceReport // per-stage timings, filled when the job terminates
+	submitted time.Time       // when the job entered the queue (queue-wait metric)
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -105,7 +107,8 @@ type jobRecord struct {
 type Runner struct {
 	reg     *Registry
 	cache   *Cache
-	st      *store.Store // optional journal (nil = memory only)
+	st      *store.Store    // optional journal (nil = memory only)
+	sched   *exec.Scheduler // divides CPU cores fairly across concurrent jobs
 	timeout time.Duration
 	retain  int // max job records kept; oldest terminal jobs beyond it are dropped
 
@@ -127,17 +130,21 @@ type Runner struct {
 // At most `retain` job records are kept (0 = unlimited): once exceeded,
 // the oldest terminal jobs are forgotten — their artifacts stay in the
 // cache, but polling the job id yields 404. A non-nil st journals every
-// terminal job.
-func NewRunner(reg *Registry, cache *Cache, st *store.Store, workers, depth int, timeout time.Duration, retain int) *Runner {
+// terminal job. sched divides CPU cores fairly across the jobs running
+// concurrently on the pool (nil = the process-wide exec.Default).
+func NewRunner(reg *Registry, cache *Cache, st *store.Store, sched *exec.Scheduler, workers, depth int, timeout time.Duration, retain int) *Runner {
 	if workers < 1 {
 		workers = 1
 	}
 	if depth < 1 {
 		depth = 64
 	}
+	if sched == nil {
+		sched = exec.Default
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Runner{
-		reg: reg, cache: cache, st: st, timeout: timeout, retain: retain,
+		reg: reg, cache: cache, st: st, sched: sched, timeout: timeout, retain: retain,
 		baseCtx: ctx, baseCancel: cancel,
 		jobs: map[string]*Job{}, queue: make(chan *Job, depth),
 	}
@@ -234,8 +241,9 @@ func (q *Runner) Submit(datasetID, taskName string, p task.Params) (JobView, err
 		id: fmt.Sprintf("job-%06d", q.seq), datasetID: ds.ID, dataset: ds,
 		task: taskName, params: p,
 		key: Key(ds.Hash, taskName, p), state: StateQueued,
-		trace: obs.TraceReport{Stages: []obs.StageTiming{}},
-		ctx:   ctx, cancel: cancel, done: make(chan struct{}),
+		trace:     obs.TraceReport{Stages: []obs.StageTiming{}},
+		submitted: time.Now(),
+		ctx:       ctx, cancel: cancel, done: make(chan struct{}),
 	}
 	if v, ok := q.cache.Get(job.key); ok {
 		job.state = StateDone
@@ -310,11 +318,21 @@ func (q *Runner) run(job *Job) {
 		ctx, cancel = context.WithTimeout(ctx, q.timeout)
 		defer cancel()
 	}
+	// The job computes under a scheduler grant: its kernels see a worker
+	// budget that shrinks as more jobs run concurrently and recovers as
+	// they finish, so one heavy job cannot monopolize the cores. The
+	// grant also lends the job pooled scratch arenas; releasing it after
+	// task.Run returns them — safe because task results are freshly
+	// allocated copies, never views into arena memory.
+	exec.ObserveQueueWait(time.Since(job.submitted))
+	g := q.sched.Acquire()
+	ctx = exec.WithGrant(ctx, g)
 	// Each job gets its own trace buffer; the pipeline stages inside
 	// task.Run record themselves on it through the context.
 	tr := obs.NewTrace()
 	res, err := task.Run(obs.WithTrace(ctx, tr), job.dataset.Relation(), job.task, job.params)
 	tr.Finish()
+	g.Release()
 
 	q.mu.Lock()
 	job.trace = tr.Report()

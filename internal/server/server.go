@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"structmine/internal/exec"
 	"structmine/internal/obs"
 	"structmine/internal/relation"
 	"structmine/internal/store"
@@ -39,6 +40,12 @@ var ErrPathRegistrationDisabled = errors.New(
 type Config struct {
 	// Workers is the job worker-pool size (default 2).
 	Workers int
+	// Procs is the CPU-core capacity the execution scheduler divides
+	// fairly across jobs running concurrently on the pool (default 0 =
+	// track GOMAXPROCS). Each running job computes under a worker budget
+	// of roughly Procs / running-jobs, so a heavy job cannot monopolize
+	// the cores while small jobs wait.
+	Procs int
 	// QueueDepth bounds how many jobs may wait (default 64); submissions
 	// beyond it are rejected with 429.
 	QueueDepth int
@@ -137,7 +144,7 @@ func New(cfg Config) *Server {
 	}
 	s.reg.st = cfg.Store
 	s.cache.st = cfg.Store
-	s.jobs = NewRunner(s.reg, s.cache, cfg.Store, cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.MaxJobs)
+	s.jobs = NewRunner(s.reg, s.cache, cfg.Store, exec.NewScheduler(cfg.Procs), cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.MaxJobs)
 	if cfg.Store != nil {
 		for _, ld := range cfg.Store.Datasets() {
 			s.reg.Adopt(ld.Meta, ld.Rel)

@@ -99,7 +99,7 @@ func runDedup(ctx context.Context, r *relation.Relation, p Params) (*DedupResult
 	if err := step(ctx, "tuple clustering"); err != nil {
 		return nil, err
 	}
-	rep := tuples.FindDuplicates(r, fv(p.PhiT), defaultB)
+	rep := tuples.FindDuplicatesCtx(ctx, r, fv(p.PhiT), defaultB)
 	res := &DedupResult{
 		PhiT: fv(p.PhiT), Threshold: rep.Threshold, LeafCount: rep.LeafCount,
 		MinSim: fv(p.MinSim), Groups: [][]int{},
@@ -138,7 +138,7 @@ func runPartition(ctx context.Context, r *relation.Relation, p Params) (*Partiti
 	if err := step(ctx, "partitioning"); err != nil {
 		return nil, err
 	}
-	pr := tuples.Partition(r, defaultMaxLeaves, defaultB, p.K)
+	pr := tuples.PartitionCtx(ctx, r, defaultMaxLeaves, defaultB, p.K)
 	res := &PartitionResult{K: pr.K, InfoLossFrac: pr.InfoLossFrac}
 	for _, cluster := range pr.Clusters {
 		g := PartitionGroup{Size: len(cluster), Tuples: cluster}
@@ -189,7 +189,7 @@ func runValues(ctx context.Context, r *relation.Relation, p Params) (*ValuesResu
 	if err := step(ctx, "value clustering"); err != nil {
 		return nil, err
 	}
-	vc := values.ClusterRelation(r, fv(p.PhiV), defaultB)
+	vc := values.ClusterRelationCtx(ctx, r, fv(p.PhiV), defaultB)
 	return newValuesResult(r, fv(p.PhiV), vc), nil
 }
 
@@ -214,14 +214,14 @@ type GroupAttrsResult struct {
 
 func clusterValuesFor(ctx context.Context, r *relation.Relation, p Params) (*values.Clustering, error) {
 	if !p.Double {
-		return values.ClusterRelation(r, fv(p.PhiV), defaultB), nil
+		return values.ClusterRelationCtx(ctx, r, fv(p.PhiV), defaultB), nil
 	}
-	assign, k := tuples.Compress(r, fv(p.PhiT), defaultB)
+	assign, k := tuples.CompressCtx(ctx, r, fv(p.PhiT), defaultB)
 	if err := step(ctx, "value clustering over tuple clusters"); err != nil {
 		return nil, err
 	}
 	objs := values.ObjectsOverClusters(r, assign, k)
-	return values.Cluster(objs, fv(p.PhiV), defaultB, r.M()), nil
+	return values.ClusterCtx(ctx, objs, fv(p.PhiV), defaultB, r.M()), nil
 }
 
 func newGroupAttrsResult(r *relation.Relation, g *attrs.Grouping, vc *values.Clustering) *GroupAttrsResult {
@@ -250,7 +250,7 @@ func runGroupAttrs(ctx context.Context, r *relation.Relation, p Params) (*GroupA
 	if err := step(ctx, "attribute grouping"); err != nil {
 		return nil, err
 	}
-	return newGroupAttrsResult(r, attrs.Group(r, vc), vc), nil
+	return newGroupAttrsResult(r, attrs.GroupCtx(ctx, r, vc), vc), nil
 }
 
 // FDItem is a functional dependency with named attributes.
@@ -281,7 +281,7 @@ func runMineFDs(ctx context.Context, r *relation.Relation) (*FDsResult, error) {
 	if err := step(ctx, "dependency mining"); err != nil {
 		return nil, err
 	}
-	fds, err := fd.Discover(r)
+	fds, err := fd.DiscoverCtx(ctx, r)
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +312,7 @@ func runMineMVDs(ctx context.Context, r *relation.Relation, p Params) (*MVDsResu
 	if err := step(ctx, "MVD mining"); err != nil {
 		return nil, err
 	}
-	mvds, err := fd.MineMVDs(r, p.MaxLHS, true)
+	mvds, err := fd.MineMVDsCtx(ctx, r, p.MaxLHS, true)
 	if err != nil {
 		return nil, err
 	}
@@ -347,7 +347,7 @@ func runApproxFDs(ctx context.Context, r *relation.Relation, p Params) (*ApproxF
 	if err := step(ctx, "approximate dependency mining"); err != nil {
 		return nil, err
 	}
-	fds, err := fd.MineApprox(r, fv(p.Eps), p.MaxLHS)
+	fds, err := fd.MineApproxCtx(ctx, r, fv(p.Eps), p.MaxLHS)
 	if err != nil {
 		return nil, err
 	}
@@ -380,7 +380,7 @@ type RankFDsResult struct {
 const largeInstance = 5000
 
 func rankPipeline(ctx context.Context, r *relation.Relation, psi float64) (*RankFDsResult, []fdrank.Ranked, error) {
-	fds, err := fd.Discover(r)
+	fds, err := fd.DiscoverCtx(ctx, r)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -395,7 +395,7 @@ func rankPipeline(ctx context.Context, r *relation.Relation, psi float64) (*Rank
 	if err := step(ctx, "attribute grouping"); err != nil {
 		return nil, nil, err
 	}
-	g := attrs.Group(r, vc)
+	g := attrs.GroupCtx(ctx, r, vc)
 	if err := step(ctx, "ranking"); err != nil {
 		return nil, nil, err
 	}
@@ -502,7 +502,7 @@ func runReport(ctx context.Context, r *relation.Relation, p Params) (*ReportResu
 		return nil, err
 	}
 	opts := report.Options{PhiT: fv(p.PhiT), PhiV: fv(p.PhiV), Psi: fv(p.Psi)}
-	rep, err := report.Generate(r, opts)
+	rep, err := report.GenerateCtx(ctx, r, opts)
 	if err != nil {
 		return nil, err
 	}

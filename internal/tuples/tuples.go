@@ -6,6 +6,7 @@
 package tuples
 
 import (
+	"context"
 	"sort"
 
 	"structmine/internal/ib"
@@ -53,15 +54,23 @@ type DuplicateReport struct {
 // that it is not a duplicate candidate (Cluster = -1), which keeps the
 // groups presented to the analyst small and meaningful.
 func FindDuplicates(r *relation.Relation, phiT float64, b int) *DuplicateReport {
+	return FindDuplicatesCtx(context.Background(), r, phiT, b)
+}
+
+// FindDuplicatesCtx is FindDuplicates under the context's worker budget
+// and arena pool. When the context carries a scheduler grant, the
+// returned report's DCFs live in pooled slabs and must not be retained
+// past the grant's release (task runners copy what they keep).
+func FindDuplicatesCtx(ctx context.Context, r *relation.Relation, phiT float64, b int) *DuplicateReport {
 	objs := Objects(r)
-	tree := limbo.BuildTree(objs, phiT, b)
+	tree := limbo.BuildTreeCtx(ctx, objs, phiT, b)
 	rep := &DuplicateReport{LeafCount: tree.LeafCount(), Threshold: tree.Threshold()}
 	for _, d := range tree.Leaves() {
 		if d.N >= 2 { // p(c) > 1/n
 			rep.Summaries = append(rep.Summaries, d)
 		}
 	}
-	rep.Assign = limbo.Assign(rep.Summaries, objs)
+	rep.Assign = limbo.AssignCtx(ctx, rep.Summaries, objs)
 	cutoff := tree.Threshold() + 1e-12
 	for t := range rep.Assign {
 		if rep.Assign[t].Loss > cutoff {
@@ -104,10 +113,17 @@ type PartitionResult struct {
 // summaries, AIB over the leaves, k selection via the rate-of-change
 // heuristic (k = 0 requests automatic choice), and a Phase 3 scan.
 func Partition(r *relation.Relation, maxLeaves, b, k int) *PartitionResult {
+	return PartitionCtx(context.Background(), r, maxLeaves, b, k)
+}
+
+// PartitionCtx is Partition under the context's worker budget and arena
+// pool; the same retention caveat as FindDuplicatesCtx applies to the
+// returned leaves.
+func PartitionCtx(ctx context.Context, r *relation.Relation, maxLeaves, b, k int) *PartitionResult {
 	objs := Objects(r)
-	tree := limbo.BuildTreeMaxLeaves(objs, maxLeaves, b)
+	tree := limbo.BuildTreeMaxLeavesCtx(ctx, objs, maxLeaves, b)
 	leaves := tree.Leaves()
-	res := limbo.Phase2(leaves, 1)
+	res := limbo.Phase2Ctx(ctx, leaves, 1)
 	curve := res.InfoCurve()
 
 	if k <= 0 {
@@ -125,7 +141,7 @@ func Partition(r *relation.Relation, maxLeaves, b, k int) *PartitionResult {
 		clusters, _ = res.ClustersAt(len(leaves))
 	}
 	reps := limbo.RepsFromClusters(leaves, clusters)
-	assign := limbo.Assign(reps, objs)
+	assign := limbo.AssignCtx(ctx, reps, objs)
 
 	groups := make([][]int, len(reps))
 	for t, a := range assign {
@@ -208,9 +224,15 @@ func median(xs []float64) float64 {
 // seen so far"), avoiding a quadratic Phase 3 scan on large instances.
 // It returns the per-tuple cluster id and the number of tuple clusters.
 func Compress(r *relation.Relation, phiT float64, b int) ([]int, int) {
+	return CompressCtx(context.Background(), r, phiT, b)
+}
+
+// CompressCtx is Compress under the context's worker budget and arena
+// pool.
+func CompressCtx(ctx context.Context, r *relation.Relation, phiT float64, b int) ([]int, int) {
 	objs := Objects(r)
 	tau := limbo.Threshold(phiT, limbo.MutualInfo(objs), len(objs))
-	tree := limbo.NewTree(limbo.Config{B: b, Threshold: tau})
+	tree := limbo.NewTreeCtx(ctx, limbo.Config{B: b, Threshold: tau})
 	leafOf := make([]*limbo.DCF, len(objs))
 	for i, o := range objs {
 		leafOf[i] = tree.Insert(o)

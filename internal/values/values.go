@@ -7,6 +7,7 @@
 package values
 
 import (
+	"context"
 	"sort"
 
 	"structmine/internal/it"
@@ -95,9 +96,17 @@ type Clustering struct {
 // its closest summary. The duplicate flag is computed per summary from
 // the merged ADCF.
 func Cluster(objs []limbo.Obj, phiV float64, b, numAttrs int) *Clustering {
-	tree := limbo.BuildTree(objs, phiV, b)
+	return ClusterCtx(context.Background(), objs, phiV, b, numAttrs)
+}
+
+// ClusterCtx is Cluster under the context's worker budget and arena
+// pool. When the context carries a scheduler grant, the returned
+// Clustering's DCFs live in pooled slabs and must not be retained past
+// the grant's release (task runners copy what they keep).
+func ClusterCtx(ctx context.Context, objs []limbo.Obj, phiV float64, b, numAttrs int) *Clustering {
+	tree := limbo.BuildTreeCtx(ctx, objs, phiV, b)
 	leaves := tree.Leaves()
-	assign := limbo.Assign(leaves, objs)
+	assign := limbo.AssignCtx(ctx, leaves, objs)
 
 	c := &Clustering{
 		Groups:    make([]Group, len(leaves)),
@@ -122,6 +131,12 @@ func Cluster(objs []limbo.Obj, phiV float64, b, numAttrs int) *Clustering {
 // relation's values at φV.
 func ClusterRelation(r *relation.Relation, phiV float64, b int) *Clustering {
 	return Cluster(Objects(r), phiV, b, r.M())
+}
+
+// ClusterRelationCtx is ClusterRelation under the context's worker
+// budget and arena pool.
+func ClusterRelationCtx(ctx context.Context, r *relation.Relation, phiV float64, b int) *Clustering {
+	return ClusterCtx(ctx, Objects(r), phiV, b, r.M())
 }
 
 // isDuplicate applies the C_V^D test: non-zero conditional mass on at

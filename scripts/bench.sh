@@ -3,7 +3,10 @@
 # -benchmem and records the results as JSON (default BENCH_1.json in the
 # repo root; pass a different path as $1). BENCHTIME overrides the
 # per-benchmark -benchtime (default 1x: one timed run per benchmark, fast
-# and adequate for the second-scale engine benchmarks).
+# and adequate for the second-scale engine benchmarks). BENCH_CPUS
+# overrides the -cpu list (default "1,4"): each benchmark runs once per
+# GOMAXPROCS value and every JSON entry records its own "cpus", so the
+# multi-core scaling of the parallel kernels is measured, not assumed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,7 +16,7 @@ pattern='^(BenchmarkAIBInit|BenchmarkAgglomerate|BenchmarkMicroAIB|BenchmarkMicr
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchmem \
+go test -run '^$' -bench "$pattern" -benchmem -cpu "${BENCH_CPUS:-1,4}" \
   -benchtime "${BENCHTIME:-1x}" -timeout 45m . | tee "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
@@ -23,14 +26,22 @@ BEGIN { n = 0; cpu = "unknown" } # `go test` omits the cpu: line on some platfor
 /^cpu:/ { sub(/^cpu: */, ""); if ($0 != "") cpu = $0 }
 /^Benchmark/ {
     name = $1; iters = $2
+    # go test appends "-N" to the name when GOMAXPROCS is N != 1; strip
+    # it into a per-entry cpus field so runs at different widths compare
+    # like against like.
+    bcpus = 1
+    if (match(name, /-[0-9]+$/)) {
+        bcpus = substr(name, RSTART + 1)
+        name = substr(name, 1, RSTART - 1)
+    }
     ns = "null"; bytes = "null"; allocs = "null"
     for (i = 3; i <= NF; i++) {
         if ($i == "ns/op")     ns     = $(i-1)
         if ($i == "B/op")      bytes  = $(i-1)
         if ($i == "allocs/op") allocs = $(i-1)
     }
-    line[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                        name, iters, ns, bytes, allocs)
+    line[n++] = sprintf("    {\"name\": \"%s\", \"cpus\": %s, \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                        name, bcpus, iters, ns, bytes, allocs)
 }
 END {
     print "{"

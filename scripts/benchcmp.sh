@@ -1,5 +1,10 @@
 #!/usr/bin/env bash
 # Compares two bench.sh JSON files benchmark-by-benchmark on ns_per_op.
+# Entries are keyed by (name, cpus): bench.sh records each benchmark
+# once per GOMAXPROCS width, and comparing a 1-core baseline against a
+# 4-core run (or vice versa) would manufacture phantom regressions and
+# speed-ups. Entries without a cpus field (older baselines) compare as
+# cpus=1.
 #
 #   scripts/benchcmp.sh BASELINE.json CURRENT.json
 #
@@ -37,8 +42,9 @@ min_fail_ns=${MIN_FAIL_NS:-1000000}
 
 echo "benchcmp: $base ($(jq -r '.go_version // "unknown go"' "$base")) vs $cur ($(jq -r '.go_version // "unknown go"' "$cur"))"
 
-# One line per benchmark in the baseline: name, baseline ns, current ns
-# (or "missing"), joined in jq so the shell loop stays trivial.
+# One line per benchmark in the baseline: key (name@cpus), baseline ns,
+# current ns (or "missing"), joined in jq so the shell loop stays
+# trivial.
 fail=0
 while IFS=$'\t' read -r name b c; do
   if [ "$c" = missing ]; then
@@ -61,9 +67,10 @@ while IFS=$'\t' read -r name b c; do
   fi
   printf 'benchcmp: %-5s %-48s %14s -> %14s ns/op (%s%%)\n' "$verdict" "$name" "$b" "$c" "$pct"
 done < <(jq -r --slurpfile cur "$cur" '
-  ( [$cur[0].benchmarks[] | {(.name): .ns_per_op}] | add // {} ) as $c
+  def key: "\(.name)@\(.cpus // 1)cpu";
+  ( [$cur[0].benchmarks[] | {(key): .ns_per_op}] | add // {} ) as $c
   | .benchmarks[]
-  | [.name, (.ns_per_op | tostring), (($c[.name] // "missing") | tostring)]
+  | [key, (.ns_per_op | tostring), (($c[key] // "missing") | tostring)]
   | @tsv' "$base")
 
 # Benchmarks only the new run has are informational, never a failure:
@@ -71,9 +78,10 @@ done < <(jq -r --slurpfile cur "$cur" '
 while IFS=$'\t' read -r name c; do
   printf 'benchcmp: %-5s %-48s %14s ns/op — new (no baseline)\n' NEW "$name" "$c"
 done < <(jq -r --slurpfile base "$base" '
-  ( [$base[0].benchmarks[].name] ) as $b
-  | .benchmarks[] | select(.name as $n | $b | index($n) | not)
-  | [.name, (.ns_per_op | tostring)] | @tsv' "$cur")
+  def key: "\(.name)@\(.cpus // 1)cpu";
+  ( [$base[0].benchmarks[] | key] ) as $b
+  | .benchmarks[] | select(key as $n | $b | index($n) | not)
+  | [key, (.ns_per_op | tostring)] | @tsv' "$cur")
 
 if [ "$fail" -ne 0 ]; then
   echo "benchcmp: FAIL — at least one benchmark regressed more than ${fail_pct}% (raise FAIL_PCT to override on a known-noisy runner)" >&2

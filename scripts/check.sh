@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Static checks plus the full test suite under the race detector — the
-# gate for the concurrent AIB / LIMBO code paths. (The parallel tests
-# raise GOMAXPROCS themselves, so races are exercised even on one CPU.)
+# gate for the concurrent AIB / LIMBO / TANE code paths. The focused
+# -count=2 leg re-runs the execution engine and fan-out suites so the
+# sync.Pool arena recycling sees reuse (a pool only hands back reset
+# arenas on the second pass) with the race detector watching.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go test -race ./...
+go test -race -count=2 ./internal/exec ./internal/par
 scripts/smoke.sh

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Multi-core saturation sanity check over one bench.sh JSON file:
+#
+#   scripts/saturation.sh BENCH.json
+#
+# For every benchmark recorded at both cpus=1 and cpus=4, the speed-up
+# ns(1cpu)/ns(4cpu) is printed. The parallel engine benchmarks — AIB
+# agglomeration and the TANE lattice search — must reach MIN_SPEEDUP
+# (default 1.5) or the script WARNS; micro benchmarks below the kernel
+# cutoffs are expected to stay near 1.0 and are reported informationally.
+#
+# Warnings never fail the job by default: single-iteration timings on a
+# shared CI runner are noisy, and a host with fewer than 4 real cores
+# (the dev box has one) cannot saturate at all. Set STRICT=1 to turn
+# warnings into a nonzero exit on runners known to have >= 4 cores.
+set -euo pipefail
+
+if ! command -v jq >/dev/null 2>&1; then
+  echo "saturation: FAIL — required tool 'jq' is not installed" >&2
+  exit 1
+fi
+if [ $# -ne 1 ]; then
+  echo "usage: scripts/saturation.sh BENCH.json" >&2
+  exit 2
+fi
+f=$1
+[ -f "$f" ] || { echo "saturation: FAIL — no such file: $f" >&2; exit 2; }
+
+min_speedup=${MIN_SPEEDUP:-1.5}
+# The benchmarks whose hot loops fan out through the execution engine
+# and are large enough to clear their kernel cutoffs. The retained
+# serial references (BenchmarkAgglomerate/serial/...) are excluded —
+# they must NOT speed up with cores.
+gated='^(BenchmarkAIBInit|BenchmarkAgglomerate/parallel|BenchmarkTANE)'
+
+host_cpus=$(jq -r '.cpus // 0' "$f")
+
+warn=0
+while IFS=$'\t' read -r name ns1 ns4; do
+  speedup=$(awk -v a="$ns1" -v b="$ns4" 'BEGIN { printf "%.2f", a / b }')
+  verdict=info
+  if [[ "$name" =~ $gated ]]; then
+    if awk -v s="$speedup" -v m="$min_speedup" 'BEGIN { exit !(s < m) }'; then
+      verdict=WARN; warn=1
+    else
+      verdict=ok
+    fi
+  fi
+  printf 'saturation: %-5s %-48s %14s -> %14s ns/op (%sx at 4 cpus)\n' \
+    "$verdict" "$name" "$ns1" "$ns4" "$speedup"
+done < <(jq -r '
+  ( [.benchmarks[] | select((.cpus // 1) == 1) | {(.name): .ns_per_op}] | add // {} ) as $one
+  | [.benchmarks[] | select((.cpus // 1) == 4)]
+  | .[] | select($one[.name] != null)
+  | [.name, ($one[.name] | tostring), (.ns_per_op | tostring)] | @tsv' "$f")
+
+if [ "$warn" -ne 0 ]; then
+  msg="saturation: WARN — a parallel engine benchmark is below ${min_speedup}x at 4 cpus"
+  if [ "$host_cpus" -lt 4 ]; then
+    msg="$msg (host reports only ${host_cpus} cpus; GOMAXPROCS=4 cannot beat real parallelism there)"
+  fi
+  echo "$msg" >&2
+  if [ "${STRICT:-0}" = 1 ]; then
+    exit 1
+  fi
+  exit 0
+fi
+echo "saturation: PASS (gated benchmarks >= ${min_speedup}x at 4 cpus)"
