@@ -27,6 +27,15 @@
 // DIR/quarantine, never trusted. -fsync additionally syncs every write
 // for power-loss durability at a latency cost.
 //
+// With -persist, -resident-bytes N additionally bounds how many CSV
+// bytes of parsed relations stay in memory: a dataset larger than N is
+// registered out of core — streamed into a paged columnar file under
+// DIR/colstore and mined page-at-a-time ("storage":"paged" in its
+// listing) — and resident datasets are evicted to the same tier, least
+// recently used first, when the total exceeds N. Paged datasets run the
+// tasks marked "paged" in GET /v1/tasks (describe, mine-fds, rank-fds)
+// with results identical to the resident path.
+//
 // Endpoints (canonical under /v1; the bare paths still answer but are
 // deprecated and carry a "Deprecation: true" response header):
 //
@@ -94,6 +103,7 @@ func run(args []string, ready chan<- string) error {
 	maxUpload := fs.Int64("max-upload", 64<<20, "maximum dataset upload size in bytes")
 	dataDir := fs.String("data-dir", "", "directory HTTP clients may register datasets from by path (empty = uploads only)")
 	maxDatasets := fs.Int("max-datasets", 64, "maximum resident datasets")
+	residentBytes := fs.Int64("resident-bytes", 0, "total CSV bytes kept resident in memory (0 = unlimited; with -persist, datasets beyond the budget are served out of core from paged colstore files)")
 	maxJobs := fs.Int("max-jobs", 1024, "maximum retained job records (oldest finished jobs are forgotten first)")
 	cacheEntries := fs.Int("cache-entries", 512, "maximum artifact-cache entries (LRU eviction)")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (unauthenticated; loopback only)")
@@ -101,6 +111,9 @@ func run(args []string, ready chan<- string) error {
 	fsyncWrites := fs.Bool("fsync", false, "fsync every durable write (with -persist; survives power loss at a latency cost)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *residentBytes > 0 && *persist == "" {
+		return fmt.Errorf("-resident-bytes needs -persist: the paged tier stores colstore files under the durable store")
 	}
 
 	var st *store.Store
@@ -130,6 +143,7 @@ func run(args []string, ready chan<- string) error {
 		MaxUploadBytes: *maxUpload,
 		DataDir:        *dataDir,
 		MaxDatasets:    *maxDatasets,
+		ResidentBytes:  *residentBytes,
 		MaxJobs:        *maxJobs,
 		CacheEntries:   *cacheEntries,
 		EnablePprof:    *enablePprof,

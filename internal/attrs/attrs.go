@@ -39,6 +39,14 @@ func GroupCtx(ctx context.Context, r *relation.Relation, c *values.Clustering) *
 	return groupFromF(ctx, rows, attrIdx, r.Attrs)
 }
 
+// GroupNamesCtx is GroupCtx for callers that only have attribute names
+// (the paged task pipeline): grouping consumes nothing of the relation
+// beyond its attribute names, so both paths share groupFromF.
+func GroupNamesCtx(ctx context.Context, names []string, c *values.Clustering) *Grouping {
+	rows, attrIdx := c.MatrixF()
+	return groupFromF(ctx, rows, attrIdx, names)
+}
+
 // GroupFromMatrix clusters attributes from an explicit F matrix (used by
 // tests and by the worked-example demo); rows[i] corresponds to
 // attribute attrIdx[i] with the given names.

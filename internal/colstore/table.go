@@ -1,0 +1,383 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"structmine/internal/relation"
+	"structmine/internal/store"
+)
+
+// mapping is the read abstraction under Table: mmap where available
+// (mmap_unix.go), plain pread elsewhere or under the colstore_readat
+// build tag (mmap_fallback.go). readAt may return memory aliasing the
+// mapping; callers must not retain it across close.
+type mapping interface {
+	readAt(off int64, n int) ([]byte, error)
+	size() int64
+	close() error
+}
+
+// Table is an open columnar relation file. It implements
+// relation.Columns, so every kernel written against the paged interface
+// runs over it unchanged. Methods are safe for concurrent use; the only
+// mutable state is the first-touch validation bitmap.
+//
+// Pages are validated lazily: the first ReadPage of a (page, attribute)
+// pair checks the page CRC and that every id belongs to the attribute
+// (a "page fault" in the metrics); later reads skip revalidation. The
+// tail — metadata and value index — is fully validated at Open.
+type Table struct {
+	path string
+	meta store.DatasetMeta
+
+	h       header
+	relName string
+	attrs   []string
+
+	mm      mapping
+	tailOff int64
+	tailLen int64
+
+	nullCounts []int
+	valueAttr  []int32
+	// attrIndexOff[a] is the offset within the tail of attribute a's
+	// value-index section; VisitValues decodes it streaming from the
+	// mapped file rather than keeping postings resident.
+	attrIndexOff []int
+
+	mu     sync.Mutex
+	faults []uint64 // validation bitmap, bit s*m+a
+}
+
+// Open maps and validates a .col file. Corrupt files fail with an error
+// wrapping ErrCorrupt; callers quarantine them.
+func Open(path string) (*Table, error) {
+	mm, err := openMapping(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := newTable(path, mm)
+	if err != nil {
+		mm.close()
+		return nil, err
+	}
+	openRelations.Add(1)
+	return t, nil
+}
+
+func newTable(path string, mm mapping) (*Table, error) {
+	size := mm.size()
+	if size < headerSize+footerSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrCorrupt, size)
+	}
+	hb, err := mm.readAt(0, headerSize)
+	if err != nil {
+		return nil, err
+	}
+	h, err := decodeHeader(hb)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := mm.readAt(size-footerSize, footerSize)
+	if err != nil {
+		return nil, err
+	}
+	tailOff, tailLen, tailCRC, err := decodeFooter(fb)
+	if err != nil {
+		return nil, err
+	}
+	if tailOff != h.dataEnd() || tailOff+tailLen != size-footerSize {
+		return nil, fmt.Errorf("%w: tail [%d,%d) disagrees with header layout (data ends %d, file %d)",
+			ErrCorrupt, tailOff, tailOff+tailLen, h.dataEnd(), size)
+	}
+	tail, err := mm.readAt(tailOff, int(tailLen))
+	if err != nil {
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(tail); got != tailCRC {
+		return nil, fmt.Errorf("%w: tail CRC32 %08x, computed %08x", ErrCorrupt, tailCRC, got)
+	}
+
+	t := &Table{
+		path:    path,
+		h:       h,
+		mm:      mm,
+		tailOff: tailOff,
+		tailLen: tailLen,
+		faults:  make([]uint64, (h.numStripes()*h.m+63)/64),
+	}
+	if err := t.parseTail(tail); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// parseTail decodes and fully validates the metadata and value index.
+// Postings themselves are not retained — only per-attribute section
+// offsets, so VisitValues can re-decode them streaming.
+func (t *Table) parseTail(tail []byte) error {
+	r := &tailReader{buf: tail}
+	var err error
+	read := func(dst *string) {
+		if err == nil {
+			*dst, err = r.string()
+		}
+	}
+	read(&t.meta.Hash)
+	read(&t.meta.Name)
+	read(&t.meta.Source)
+	if err != nil {
+		return err
+	}
+	csvBytes, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	t.meta.Bytes = int64(csvBytes)
+	read(&t.relName)
+	t.attrs = make([]string, t.h.m)
+	for a := range t.attrs {
+		read(&t.attrs[a])
+	}
+	if err != nil {
+		return err
+	}
+	t.nullCounts = make([]int, t.h.m)
+	for a := range t.nullCounts {
+		c, cerr := r.uvarint()
+		if cerr != nil {
+			return cerr
+		}
+		if int64(c) > t.h.n {
+			return fmt.Errorf("%w: attribute %d: %d NULLs in %d tuples", ErrCorrupt, a, c, t.h.n)
+		}
+		t.nullCounts[a] = int(c)
+	}
+
+	t.valueAttr = make([]int32, t.h.d)
+	for i := range t.valueAttr {
+		t.valueAttr[i] = -1
+	}
+	t.attrIndexOff = make([]int, t.h.m)
+	assigned := 0
+	for a := 0; a < t.h.m; a++ {
+		t.attrIndexOff[a] = r.off
+		nv, err := r.count(3) // ≥ id delta + count + numRuns per value
+		if err != nil {
+			return err
+		}
+		total := int64(0)
+		prev := int64(-1)
+		for i := 0; i < nv; i++ {
+			v, count, err := decodeValueHead(r, prev)
+			if err != nil {
+				return err
+			}
+			prev = v
+			if v >= int64(t.h.d) {
+				return fmt.Errorf("%w: value id %d with d=%d", ErrCorrupt, v, t.h.d)
+			}
+			if t.valueAttr[v] != -1 {
+				return fmt.Errorf("%w: value id %d indexed twice", ErrCorrupt, v)
+			}
+			t.valueAttr[v] = int32(a)
+			assigned++
+			got, err := validateRuns(r, t.h.n)
+			if err != nil {
+				return err
+			}
+			if got != int64(count) {
+				return fmt.Errorf("%w: value %d: runs cover %d tuples, count says %d", ErrCorrupt, v, got, count)
+			}
+			total += int64(count)
+		}
+		if total != t.h.n {
+			return fmt.Errorf("%w: attribute %d postings cover %d of %d tuples", ErrCorrupt, a, total, t.h.n)
+		}
+	}
+	if assigned != t.h.d {
+		return fmt.Errorf("%w: index covers %d of %d values", ErrCorrupt, assigned, t.h.d)
+	}
+	if r.off != len(tail) {
+		return fmt.Errorf("%w: %d trailing tail bytes", ErrCorrupt, len(tail)-r.off)
+	}
+	return nil
+}
+
+// decodeValueHead reads one value's id (delta from prev) and count.
+func decodeValueHead(r *tailReader, prev int64) (v int64, count uint64, err error) {
+	delta, err := r.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if delta == 0 || delta > 1<<32 {
+		return 0, 0, fmt.Errorf("%w: value id delta %d", ErrCorrupt, delta)
+	}
+	v = prev + int64(delta)
+	count, err = r.uvarint()
+	return v, count, err
+}
+
+// validateRuns decodes one value's run list, checking ascending
+// disjoint runs within [0, n), and returns the tuples covered.
+func validateRuns(r *tailReader, n int64) (int64, error) {
+	nr, err := r.count(2) // ≥ startDelta + len per run
+	if err != nil {
+		return 0, err
+	}
+	covered := int64(0)
+	end := int64(0)
+	for j := 0; j < nr; j++ {
+		startDelta, err := r.uvarint()
+		if err != nil {
+			return 0, err
+		}
+		ln, err := r.uvarint()
+		if err != nil {
+			return 0, err
+		}
+		start := end + int64(startDelta)
+		if ln == 0 || start+int64(ln) > n {
+			return 0, fmt.Errorf("%w: run [%d,%d) outside %d tuples", ErrCorrupt, start, start+int64(ln), n)
+		}
+		end = start + int64(ln)
+		covered += int64(ln)
+	}
+	return covered, nil
+}
+
+// Close unmaps the file. The Table must not be used after.
+func (t *Table) Close() error {
+	openRelations.Add(-1)
+	return t.mm.close()
+}
+
+// Meta returns the registration metadata stored in the file, making
+// .col files self-describing for boot adoption.
+func (t *Table) Meta() store.DatasetMeta { return t.meta }
+
+// Path returns the file path the table was opened from.
+func (t *Table) Path() string { return t.path }
+
+// --- relation.Columns ---
+
+func (t *Table) Name() string        { return t.relName }
+func (t *Table) N() int              { return int(t.h.n) }
+func (t *Table) M() int              { return t.h.m }
+func (t *Table) D() int              { return t.h.d }
+func (t *Table) AttrNames() []string { return t.attrs }
+func (t *Table) PageRows() int       { return t.h.pageRows }
+func (t *Table) NumPages() int       { return t.h.numStripes() }
+
+func (t *Table) PageLen(p int) int {
+	if p < 0 || p >= t.h.numStripes() {
+		return 0
+	}
+	return t.h.stripeLen(p)
+}
+
+func (t *Table) ReadPage(p, a int, dst []int32) ([]int32, error) {
+	rows := t.PageLen(p)
+	if rows == 0 {
+		return nil, fmt.Errorf("colstore: page %d out of range (have %d)", p, t.h.numStripes())
+	}
+	if a < 0 || a >= t.h.m {
+		return nil, fmt.Errorf("colstore: attribute %d out of range (have %d)", a, t.h.m)
+	}
+	b, err := t.mm.readAt(t.h.pageOff(p, a), int(pageSize(rows)))
+	if err != nil {
+		return nil, err
+	}
+	pagesRead.Inc()
+	if cap(dst) < rows {
+		dst = make([]int32, rows)
+	}
+	dst = dst[:rows]
+	validate := t.firstTouch(p, a)
+	if validate {
+		data := b[:rows*4]
+		if got, want := binary.LittleEndian.Uint32(b[rows*4:]), crc32.ChecksumIEEE(data); got != want {
+			return nil, fmt.Errorf("%w: page (%d,%d) CRC32 %08x, computed %08x", ErrCorrupt, p, a, got, want)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		v := int32(binary.LittleEndian.Uint32(b[i*4:]))
+		if validate && (v < 0 || int(v) >= t.h.d || t.valueAttr[v] != int32(a)) {
+			return nil, fmt.Errorf("%w: page (%d,%d) row %d holds foreign value id %d", ErrCorrupt, p, a, i, v)
+		}
+		dst[i] = v
+	}
+	return dst, nil
+}
+
+// firstTouch marks page (p,a) validated, reporting whether this call
+// must validate it. Failed validations are not un-marked: a corrupt
+// page error is terminal for the consuming job either way, and the
+// error path re-surfaces on reopen.
+func (t *Table) firstTouch(p, a int) bool {
+	bit := uint(p*t.h.m + a)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.faults[bit/64]&(1<<(bit%64)) != 0 {
+		return false
+	}
+	t.faults[bit/64] |= 1 << (bit % 64)
+	pageFaults.Inc()
+	return true
+}
+
+func (t *Table) VisitValues(a int, f func(v int32, count int, runs []relation.Run) error) error {
+	if a < 0 || a >= t.h.m {
+		return fmt.Errorf("colstore: attribute %d out of range (have %d)", a, t.h.m)
+	}
+	tail, err := t.mm.readAt(t.tailOff, int(t.tailLen))
+	if err != nil {
+		return err
+	}
+	r := &tailReader{buf: tail, off: t.attrIndexOff[a]}
+	nv, err := r.count(3)
+	if err != nil {
+		return err
+	}
+	var runs []relation.Run
+	prev := int64(-1)
+	for i := 0; i < nv; i++ {
+		v, count, err := decodeValueHead(r, prev)
+		if err != nil {
+			return err
+		}
+		prev = v
+		nr, err := r.count(2)
+		if err != nil {
+			return err
+		}
+		runs = runs[:0]
+		end := int32(0)
+		for j := 0; j < nr; j++ {
+			startDelta, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			ln, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			start := end + int32(startDelta)
+			end = start + int32(ln)
+			runs = append(runs, relation.Run{Start: start, Len: int32(ln)})
+		}
+		if err := f(int32(v), int(count), runs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) ValueAttr(v int32) int { return int(t.valueAttr[v]) }
+
+func (t *Table) NullCount(a int) int { return t.nullCounts[a] }
+
+var _ relation.Columns = (*Table)(nil)

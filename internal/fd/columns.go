@@ -1,0 +1,93 @@
+package fd
+
+import (
+	"context"
+
+	"structmine/internal/relation"
+)
+
+// This file holds the paged-column counterparts of the relation-backed
+// data accessors: level-1 partition construction from the value index
+// and direct satisfaction checks over page-stripe scans. Everything
+// above them (the TANE lattice walk, pruning, minimal covers) is
+// shared, so paged and resident mining cannot drift.
+
+// singlePartitionColumns builds Π_{A} from the value index: the index
+// lists values in ascending id order with ascending tuple runs, which
+// is exactly the class order and tuple order singlePartitionClasses
+// emits, flattened directly into the arena layout.
+func singlePartitionColumns(c relation.Columns, a int) (*partition, error) {
+	p := &partition{offs: []int32{0}}
+	err := c.VisitValues(a, func(v int32, count int, runs []relation.Run) error {
+		if count < 2 {
+			return nil // stripped: singleton classes are dropped
+		}
+		for _, r := range runs {
+			for t := r.Start; t < r.Start+r.Len; t++ {
+				p.elems = append(p.elems, t)
+			}
+		}
+		p.offs = append(p.offs, int32(len(p.elems)))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// HoldsColumns reports whether the dependency is satisfied, streaming
+// page stripes of the involved attributes instead of touching rows. It
+// answers identically to Holds on the equivalent resident relation.
+func HoldsColumns(c relation.Columns, f FD) (bool, error) {
+	lhs := f.LHS.Attrs()
+	rhs := f.RHS.Attrs()
+	seen := make(map[string][]int32, c.N())
+	key := make([]byte, 0, 32)
+	lcols := make([][]int32, len(lhs))
+	rcols := make([][]int32, len(rhs))
+	for p := 0; p < c.NumPages(); p++ {
+		var err error
+		for i, a := range lhs {
+			if lcols[i], err = c.ReadPage(p, a, lcols[i]); err != nil {
+				return false, err
+			}
+		}
+		for i, a := range rhs {
+			if rcols[i], err = c.ReadPage(p, a, rcols[i]); err != nil {
+				return false, err
+			}
+		}
+		rows := c.PageLen(p)
+		for t := 0; t < rows; t++ {
+			key = key[:0]
+			for i := range lhs {
+				v := lcols[i][t]
+				key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), 0xfe)
+			}
+			if prev, ok := seen[string(key)]; ok {
+				for i := range rhs {
+					if prev[i] != rcols[i][t] {
+						return false, nil
+					}
+				}
+				continue
+			}
+			cur := make([]int32, len(rhs))
+			for i := range rhs {
+				cur[i] = rcols[i][t]
+			}
+			seen[string(key)] = cur
+		}
+	}
+	return true, nil
+}
+
+// DiscoverColumns mines all minimal, non-trivial FDs over the paged
+// interface. It always takes the TANE branch — FDEP's pairwise
+// difference sets want random row access — which is no loss: Discover's
+// two miners return identical FD sets, and the canonical SortFDs order
+// makes the choice unobservable.
+func DiscoverColumns(ctx context.Context, c relation.Columns) ([]FD, error) {
+	return TANEColumnsCtx(ctx, c)
+}

@@ -38,16 +38,50 @@ func TANECtx(ctx context.Context, r *relation.Relation) ([]FD, error) {
 }
 
 func runTANE(ctx context.Context, r *relation.Relation, serial bool) ([]FD, error) {
-	m := r.M()
+	t := &tane{
+		single: func(a int) (*partition, error) { return singlePartition(r, a), nil },
+		holds:  func(f FD) (bool, error) { return Holds(r, f), nil },
+	}
+	return t.mine(ctx, r.M(), r.N(), serial)
+}
+
+// TANEColumns mines the same minimal FDs over the paged column
+// interface: level-1 partitions come straight from the value index and
+// satisfaction checks stream page stripes, so the full row set is never
+// resident. The output is bit-identical to TANE on the equivalent
+// resident relation — identical level-1 partitions feed the identical
+// lattice walk.
+func TANEColumns(c relation.Columns) ([]FD, error) {
+	return TANEColumnsCtx(context.Background(), c)
+}
+
+// TANEColumnsCtx is TANEColumns under the context's worker budget and
+// arena pool.
+func TANEColumnsCtx(ctx context.Context, c relation.Columns) ([]FD, error) {
+	t := &tane{
+		single: func(a int) (*partition, error) { return singlePartitionColumns(c, a) },
+		holds:  func(f FD) (bool, error) { return HoldsColumns(c, f) },
+	}
+	return t.mine(ctx, c.M(), c.N(), false)
+}
+
+// mine validates the instance shape and runs the level-wise walk over
+// the struct's data-access hooks.
+func (t *tane) mine(ctx context.Context, m, n int, serial bool) ([]FD, error) {
 	if m > MaxAttrs {
 		return nil, fmt.Errorf("fd: relation has %d attributes, max %d", m, MaxAttrs)
 	}
-	if r.N() == 0 || m == 0 {
+	if n == 0 || m == 0 {
 		return nil, nil
 	}
-	t := &tane{ctx: ctx, r: r, m: m, n: r.N(), full: FullSet(m), cache: map[cplusKey]bool{},
-		forceSerial: serial}
+	t.ctx, t.m, t.n = ctx, m, n
+	t.full = FullSet(m)
+	t.cache = map[cplusKey]bool{}
+	t.forceSerial = serial
 	t.run()
+	if t.err != nil {
+		return nil, t.err
+	}
 	SortFDs(t.out)
 	return t.out, nil
 }
@@ -287,10 +321,19 @@ type levelNode struct {
 
 type tane struct {
 	ctx  context.Context // carries the worker budget and arena pool
-	r    *relation.Relation
 	m, n int
 	full AttrSet
 	out  []FD
+
+	// Data access is abstracted behind two hooks so the identical
+	// lattice walk serves both resident relations and paged columns:
+	// single builds the level-1 stripped partition of one attribute,
+	// holds checks satisfaction directly (the key-pruning fallback).
+	single func(a int) (*partition, error)
+	holds  func(FD) (bool, error)
+	// err records the first data-access failure; the walk aborts and
+	// mine surfaces it (resident hooks never fail, paged reads can).
+	err error
 
 	cache map[cplusKey]bool
 
@@ -330,7 +373,14 @@ func (t *tane) inCPlusByDef(a int, y AttrSet) bool {
 	res := true
 	for _, b := range y.Attrs() {
 		lhs := y.Remove(a).Remove(b)
-		if Holds(t.r, FD{LHS: lhs, RHS: NewAttrSet(b)}) {
+		ok, err := t.holds(FD{LHS: lhs, RHS: NewAttrSet(b)})
+		if err != nil {
+			if t.err == nil {
+				t.err = err
+			}
+			return false // run aborts; the value is never used
+		}
+		if ok {
 			res = false
 			break
 		}
@@ -347,10 +397,15 @@ func (t *tane) run() {
 	// Level 1.
 	cur := map[AttrSet]*levelNode{}
 	for a := 0; a < t.m; a++ {
-		cur[NewAttrSet(a)] = &levelNode{part: singlePartition(t.r, a)}
+		part, err := t.single(a)
+		if err != nil {
+			t.err = err
+			return
+		}
+		cur[NewAttrSet(a)] = &levelNode{part: part}
 	}
 
-	for len(cur) > 0 {
+	for len(cur) > 0 && t.err == nil {
 		taneLevels.Inc()
 		t.computeDependencies(cur, prev)
 		t.prune(cur)

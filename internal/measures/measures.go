@@ -50,3 +50,31 @@ func RTR(r *relation.Relation, attrs []int) float64 {
 	}
 	return 1 - float64(r.DistinctRows(attrs))/float64(n)
 }
+
+// RADColumns is RAD over the paged column interface. The projection
+// counts arrive in the same sorted order as the resident scan, so the
+// entropy sum — and hence the measure — is bit-identical.
+func RADColumns(c relation.Columns, attrs []int) (float64, error) {
+	n := c.N()
+	if n <= 1 || len(attrs) == 0 {
+		return 0, nil
+	}
+	counts, err := relation.ProjectionCountsColumns(c, attrs)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - it.EntropyCounts(counts)/math.Log2(float64(n)), nil
+}
+
+// RTRColumns is RTR over the paged column interface.
+func RTRColumns(c relation.Columns, attrs []int) (float64, error) {
+	n := c.N()
+	if n == 0 || len(attrs) == 0 {
+		return 0, nil
+	}
+	distinct, err := relation.DistinctRowsColumns(c, attrs)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - float64(distinct)/float64(n), nil
+}

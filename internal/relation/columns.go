@@ -1,0 +1,225 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultPageRows is the number of tuples per column page used when a
+// page size is not dictated by an on-disk format. 4096 rows × 4 bytes
+// keeps a page stripe (one page per attribute) well inside L2 for the
+// schemas the paper studies while amortizing per-page overhead.
+const DefaultPageRows = 4096
+
+// Run is a maximal run of consecutive tuple indices [Start, Start+Len)
+// in a value's posting list. Postings are stored run-length compressed:
+// categorical columns cluster heavily, so runs are usually far shorter
+// than the raw tuple lists in Stats.Tuples.
+type Run struct {
+	Start int32
+	Len   int32
+}
+
+// Columns is the page-oriented read interface over a categorical
+// relation. It is the out-of-core counterpart of *Relation: kernels that
+// consume it see the same tuples, the same dense attribute-qualified
+// value ids in the same first-appearance order, but only ever
+// materialize one page stripe (one page per attribute) at a time.
+//
+// Two implementations exist: AsColumns wraps a resident *Relation, and
+// colstore.Table reads the on-disk paged format. Kernels written
+// against Columns must produce bit-identical results on both.
+type Columns interface {
+	// Name returns the relation name.
+	Name() string
+	// N, M, D mirror Relation.N/M/D: tuples, attributes, distinct values.
+	N() int
+	M() int
+	D() int
+	// AttrNames returns the attribute names, len M. Callers must not
+	// modify the returned slice.
+	AttrNames() []string
+	// PageRows returns the nominal rows per page; every page except the
+	// last holds exactly PageRows tuples.
+	PageRows() int
+	// NumPages returns the page count, ceil(N / PageRows).
+	NumPages() int
+	// PageLen returns the number of tuples in page p.
+	PageLen(p int) int
+	// ReadPage returns the value ids of attribute a for the tuples of
+	// page p. dst is optional scratch (typically an exec.Arena carve);
+	// when its capacity suffices the result aliases it, otherwise a
+	// fresh slice is returned. The returned slice is only valid until
+	// the next ReadPage call on the same Columns with the same dst —
+	// mmap-backed implementations may return memory that is revalidated
+	// or remapped between calls.
+	ReadPage(p, a int, dst []int32) ([]int32, error)
+	// VisitValues calls f once per distinct value of attribute a, in
+	// ascending value-id order, with the value's tuple count and its
+	// run-length-compressed posting list (runs ascending, disjoint).
+	// The runs slice is reused between calls; f must not retain it.
+	VisitValues(a int, f func(v int32, count int, runs []Run) error) error
+	// ValueAttr returns the attribute index a value id belongs to.
+	ValueAttr(v int32) int
+	// NullCount returns how many tuples hold NULL in attribute a.
+	NullCount(a int) int
+}
+
+// AsColumns adapts a resident *Relation to the Columns interface with
+// DefaultPageRows-sized pages. Per-value statistics are computed lazily
+// on the first VisitValues/NullCount call and cached.
+func AsColumns(r *Relation) Columns {
+	return &residentColumns{r: r}
+}
+
+type residentColumns struct {
+	r    *Relation
+	st   *Stats // lazy; built on first VisitValues/NullCount
+	runs []Run  // scratch reused across VisitValues callbacks
+}
+
+func (c *residentColumns) Name() string        { return c.r.Name }
+func (c *residentColumns) N() int              { return c.r.N() }
+func (c *residentColumns) M() int              { return c.r.M() }
+func (c *residentColumns) D() int              { return c.r.D() }
+func (c *residentColumns) AttrNames() []string { return c.r.Attrs }
+func (c *residentColumns) PageRows() int       { return DefaultPageRows }
+
+func (c *residentColumns) NumPages() int {
+	return (c.r.N() + DefaultPageRows - 1) / DefaultPageRows
+}
+
+func (c *residentColumns) PageLen(p int) int {
+	if p < 0 || p >= c.NumPages() {
+		return 0
+	}
+	if rem := c.r.N() - p*DefaultPageRows; rem < DefaultPageRows {
+		return rem
+	}
+	return DefaultPageRows
+}
+
+func (c *residentColumns) ReadPage(p, a int, dst []int32) ([]int32, error) {
+	rows := c.PageLen(p)
+	if rows == 0 {
+		return nil, fmt.Errorf("relation: page %d out of range (have %d pages)", p, c.NumPages())
+	}
+	if a < 0 || a >= c.r.M() {
+		return nil, fmt.Errorf("relation: attribute %d out of range (have %d)", a, c.r.M())
+	}
+	if cap(dst) < rows {
+		dst = make([]int32, rows)
+	}
+	dst = dst[:rows]
+	base := p * DefaultPageRows
+	for i := 0; i < rows; i++ {
+		dst[i] = c.r.rows[base+i][a]
+	}
+	return dst, nil
+}
+
+func (c *residentColumns) stats() *Stats {
+	if c.st == nil {
+		c.st = c.r.Stats()
+	}
+	return c.st
+}
+
+func (c *residentColumns) VisitValues(a int, f func(v int32, count int, runs []Run) error) error {
+	if a < 0 || a >= c.r.M() {
+		return fmt.Errorf("relation: attribute %d out of range (have %d)", a, c.r.M())
+	}
+	st := c.stats()
+	for v := int32(0); v < int32(c.r.D()); v++ {
+		if c.r.valueAttr[v] != a {
+			continue
+		}
+		c.runs = compressRuns(c.runs[:0], st.Tuples[v])
+		if err := f(v, st.Count[v], c.runs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *residentColumns) ValueAttr(v int32) int { return c.r.ValueAttr(v) }
+
+func (c *residentColumns) NullCount(a int) int {
+	id, ok := c.r.dict[a][Null]
+	if !ok {
+		return 0
+	}
+	return c.stats().Count[id]
+}
+
+// compressRuns appends the run-length compression of an ascending tuple
+// list to dst.
+func compressRuns(dst []Run, tuples []int32) []Run {
+	for i := 0; i < len(tuples); {
+		j := i + 1
+		for j < len(tuples) && tuples[j] == tuples[j-1]+1 {
+			j++
+		}
+		dst = append(dst, Run{Start: tuples[i], Len: int32(j - i)})
+		i = j
+	}
+	return dst
+}
+
+// DistinctRowsColumns is DistinctRows over the paged interface: the
+// number of distinct rows of the projection on attrs (set semantics).
+// One page stripe of the projected attributes is resident at a time.
+func DistinctRowsColumns(c Columns, attrs []int) (int, error) {
+	seen := map[string]struct{}{}
+	err := scanProjection(c, attrs, func(key []byte) {
+		seen[string(key)] = struct{}{}
+	})
+	return len(seen), err
+}
+
+// ProjectionCountsColumns is ProjectionCounts over the paged interface:
+// the multiplicity of each distinct projected row (bag semantics),
+// sorted descending. The ordering matches ProjectionCounts exactly, so
+// entropies computed over either are bit-identical.
+func ProjectionCountsColumns(c Columns, attrs []int) ([]int, error) {
+	counts := map[string]int{}
+	err := scanProjection(c, attrs, func(key []byte) {
+		counts[string(key)]++
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, len(counts))
+	for _, n := range counts {
+		out = append(out, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out, nil
+}
+
+// scanProjection streams the projection of c on attrs page stripe by
+// page stripe, calling visit with each row's encoded key. The key
+// buffer is reused; visit must copy if it retains (map[string(key)]
+// insertions copy implicitly).
+func scanProjection(c Columns, attrs []int, visit func(key []byte)) error {
+	cols := make([][]int32, len(attrs))
+	key := make([]byte, 0, 5*len(attrs))
+	for p := 0; p < c.NumPages(); p++ {
+		for i, a := range attrs {
+			got, err := c.ReadPage(p, a, cols[i])
+			if err != nil {
+				return err
+			}
+			cols[i] = got
+		}
+		rows := c.PageLen(p)
+		for t := 0; t < rows; t++ {
+			key = key[:0]
+			for i := range attrs {
+				key = appendKey(key, cols[i][t])
+			}
+			visit(key)
+		}
+	}
+	return nil
+}

@@ -14,6 +14,11 @@ type Limits struct {
 	MaxRows int
 	// MaxFields caps the number of columns, checked on the header line.
 	MaxFields int
+	// MaxBytes caps the number of input bytes consumed, checked after
+	// each record, so a streaming register pass fails fast with a
+	// line-numbered error instead of parsing an oversized body to the
+	// end.
+	MaxBytes int64
 }
 
 // ReadCSV parses a header-first CSV stream into a Relation with no row or
@@ -27,44 +32,77 @@ func ReadCSV(name string, r io.Reader) (*Relation, error) {
 // ReadCSVLimited parses a header-first CSV stream into a Relation,
 // enforcing the given limits. All errors carry the 1-based line number.
 func ReadCSVLimited(name string, r io.Reader, lim Limits) (*Relation, error) {
+	var b *Builder
+	err := ScanCSV(r, lim, func(header []string) error {
+		b = NewBuilder(name, header)
+		return nil
+	}, func(line int, rec []string) error {
+		if err := b.Add(rec); err != nil {
+			return fmt.Errorf("relation: line %d: %w", line, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Relation(), nil
+}
+
+// ScanCSV streams a header-first CSV without materializing anything:
+// the header callback runs once after validation, then the row callback
+// runs per data record with its 1-based line number. The record slice
+// is reused between calls; callbacks must copy what they keep. Limits
+// are enforced exactly as in ReadCSVLimited, and every error carries
+// the line number. The colstore ingest passes run over this so their
+// limit and error behavior cannot drift from the resident parser.
+func ScanCSV(r io.Reader, lim Limits, onHeader func(header []string) error, onRow func(line int, rec []string) error) error {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+		return fmt.Errorf("relation: reading CSV header: %w", err)
 	}
+	header = append([]string(nil), header...)
 	if lim.MaxFields > 0 && len(header) > lim.MaxFields {
-		return nil, fmt.Errorf("relation: line 1: header has %d fields, limit is %d", len(header), lim.MaxFields)
+		return fmt.Errorf("relation: line 1: header has %d fields, limit is %d (after %d bytes)", len(header), lim.MaxFields, cr.InputOffset())
+	}
+	if lim.MaxBytes > 0 && cr.InputOffset() > lim.MaxBytes {
+		return fmt.Errorf("relation: line 1: byte limit of %d exceeded (header alone is %d bytes)", lim.MaxBytes, cr.InputOffset())
 	}
 	seen := make(map[string]int, len(header))
 	for i, a := range header {
 		if first, dup := seen[a]; dup {
-			return nil, fmt.Errorf("relation: line 1: duplicate attribute name %q (columns %d and %d)", a, first+1, i+1)
+			return fmt.Errorf("relation: line 1: duplicate attribute name %q (columns %d and %d)", a, first+1, i+1)
 		}
 		seen[a] = i
 	}
-	b := NewBuilder(name, header)
+	if err := onHeader(header); err != nil {
+		return err
+	}
 	line := 1
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
-			break
+			return nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("relation: reading CSV: %w", err)
+			return fmt.Errorf("relation: reading CSV: %w", err)
 		}
 		line++
 		if lim.MaxRows > 0 && line-1 > lim.MaxRows {
-			return nil, fmt.Errorf("relation: line %d: row limit of %d data rows exceeded", line, lim.MaxRows)
+			return fmt.Errorf("relation: line %d: row limit of %d data rows exceeded (after %d bytes)", line, lim.MaxRows, cr.InputOffset())
+		}
+		if lim.MaxBytes > 0 && cr.InputOffset() > lim.MaxBytes {
+			return fmt.Errorf("relation: line %d: byte limit of %d exceeded (consumed %d bytes)", line, lim.MaxBytes, cr.InputOffset())
 		}
 		if len(rec) != len(header) {
-			return nil, fmt.Errorf("relation: line %d has %d fields, header has %d", line, len(rec), len(header))
+			return fmt.Errorf("relation: line %d has %d fields, header has %d", line, len(rec), len(header))
 		}
-		if err := b.Add(rec); err != nil {
-			return nil, fmt.Errorf("relation: line %d: %w", line, err)
+		if err := onRow(line, rec); err != nil {
+			return err
 		}
 	}
-	return b.Relation(), nil
 }
 
 // ReadCSVFile opens and parses a CSV file.

@@ -324,10 +324,13 @@ func (s *Server) handleListTasks(w http.ResponseWriter, r *http.Request) {
 		Name     string `json:"name"`
 		Synopsis string `json:"synopsis"`
 		Runnable bool   `json:"runnable"`
+		// Paged marks tasks that can also run over "storage":"paged"
+		// (colstore-backed) datasets.
+		Paged bool `json:"paged"`
 	}
 	out := make([]taskInfo, 0, len(task.Specs))
 	for _, sp := range task.Specs {
-		out = append(out, taskInfo{Name: sp.Name, Synopsis: sp.Synopsis, Runnable: !sp.MultiFile})
+		out = append(out, taskInfo{Name: sp.Name, Synopsis: sp.Synopsis, Runnable: !sp.MultiFile, Paged: sp.Paged})
 	}
 	writeJSON(w, http.StatusOK, out)
 }

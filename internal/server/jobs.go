@@ -10,6 +10,7 @@ import (
 
 	"structmine/internal/exec"
 	"structmine/internal/obs"
+	"structmine/internal/relation"
 	"structmine/internal/store"
 	"structmine/internal/task"
 )
@@ -48,6 +49,12 @@ type Job struct {
 	task      string
 	params    task.Params
 	key       string // artifact-cache key
+
+	// Exactly one of rel/cols is set for executable jobs, pinned at
+	// Submit so a dataset evicted to the paged tier mid-queue still runs
+	// against the state it was admitted under.
+	rel  *relation.Relation
+	cols relation.Columns
 
 	state     State
 	errMsg    string
@@ -228,6 +235,24 @@ func (q *Runner) Submit(datasetID, taskName string, p task.Params) (JobView, err
 	if !ok {
 		return JobView{}, fmt.Errorf("%w %q", ErrUnknownDataset, datasetID)
 	}
+	// Pin the execution surface now: a paged dataset must carry a paged
+	// task (rejected here, before a worker is consumed), and a resident
+	// relation pinned at submit keeps its content even if the registry
+	// evicts the dataset to the paged tier while the job waits.
+	var rel *relation.Relation
+	var cols relation.Columns
+	if ds.Paged() {
+		if !spec.Paged {
+			return JobView{}, fmt.Errorf("%w: task %q needs the resident relation, and dataset %s is paged (out of core)",
+				ErrTaskNotRunnable, taskName, ds.ID)
+		}
+		var err error
+		if cols, err = ds.Columns(); err != nil {
+			return JobView{}, err
+		}
+	} else {
+		rel = ds.Relation()
+	}
 	p = p.Normalize(taskName)
 
 	q.mu.Lock()
@@ -239,6 +264,7 @@ func (q *Runner) Submit(datasetID, taskName string, p task.Params) (JobView, err
 	ctx, cancel := context.WithCancel(q.baseCtx)
 	job := &Job{
 		id: fmt.Sprintf("job-%06d", q.seq), datasetID: ds.ID, dataset: ds,
+		rel: rel, cols: cols,
 		task: taskName, params: p,
 		key: Key(ds.Hash, taskName, p), state: StateQueued,
 		trace:     obs.TraceReport{Stages: []obs.StageTiming{}},
@@ -330,7 +356,13 @@ func (q *Runner) run(job *Job) {
 	// Each job gets its own trace buffer; the pipeline stages inside
 	// task.Run record themselves on it through the context.
 	tr := obs.NewTrace()
-	res, err := task.Run(obs.WithTrace(ctx, tr), job.dataset.Relation(), job.task, job.params)
+	var res any
+	var err error
+	if job.cols != nil {
+		res, err = task.RunColumns(obs.WithTrace(ctx, tr), job.cols, job.task, job.params)
+	} else {
+		res, err = task.Run(obs.WithTrace(ctx, tr), job.rel, job.task, job.params)
+	}
 	tr.Finish()
 	g.Release()
 

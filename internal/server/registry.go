@@ -6,11 +6,15 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
+	"structmine/internal/colstore"
 	"structmine/internal/relation"
 	"structmine/internal/store"
 	"structmine/internal/task"
@@ -20,8 +24,28 @@ import (
 // capacity and refuses to make another relation resident.
 var ErrDatasetLimit = errors.New("server: dataset limit reached")
 
-// Dataset is one registered relation instance: the parsed relation and
-// its instance statistics stay resident so repeated jobs never re-parse.
+// ErrPagedNeedsStore reports that a dataset exceeded the resident-bytes
+// budget on a server without a durable store to page it to.
+var ErrPagedNeedsStore = errors.New(
+	"server: dataset exceeds the resident budget and the paged tier needs -persist")
+
+// Storage classes of a registered dataset.
+const (
+	// StorageResident marks a dataset whose parsed relation is held in
+	// memory — the classic tier, and the only one without a store.
+	StorageResident = "resident"
+	// StoragePaged marks a dataset backed by an on-disk colstore file,
+	// read page-at-a-time through the relation.Columns interface. Only
+	// the Paged tasks can run over it.
+	StoragePaged = "paged"
+)
+
+// Dataset is one registered relation instance. Resident datasets keep
+// the parsed relation in memory; paged datasets keep only a lazily
+// opened colstore handle. The exported (JSON) fields are immutable for
+// the lifetime of a *Dataset value: tier changes (eviction) replace the
+// registry entry with a new value rather than mutating the old one, so
+// handlers may marshal the pointers they hold without locking.
 type Dataset struct {
 	// ID is the short display address: a prefix of Hash, extended just
 	// far enough to be unambiguous among registered datasets.
@@ -35,29 +59,81 @@ type Dataset struct {
 	Source string `json:"source"`
 	// Bytes is the size of the registered CSV source — the residency
 	// cost proxy behind the structmined_dataset_resident_bytes gauge.
-	Bytes   int64                `json:"bytes"`
+	// For paged and evicted datasets it comes from the snapshot or
+	// colstore header, never from a relation that is no longer resident.
+	Bytes int64 `json:"bytes"`
+	// Storage is the dataset's tier: StorageResident or StoragePaged.
+	Storage string               `json:"storage"`
 	Summary *task.DescribeResult `json:"summary"`
 
-	rel *relation.Relation
+	rel     *relation.Relation // resident tier (nil when paged)
+	colPath string             // paged tier: the colstore file
+
+	// use is the LRU clock cell, shared across tier-change copies of the
+	// same dataset so eviction ordering survives the copy.
+	use *atomic.Int64
+
+	// handle is the lazily opened paged table, behind a pointer so the
+	// struct stays copyable (tests unmarshal Dataset values).
+	handle *pagedHandle
 }
 
-// Relation returns the resident parsed instance.
+// pagedHandle owns a paged dataset's colstore table, opened on first
+// use and kept open for the registry's lifetime.
+type pagedHandle struct {
+	mu    sync.Mutex
+	table *colstore.Table
+}
+
+// Relation returns the resident parsed instance (nil for paged
+// datasets).
 func (d *Dataset) Relation() *relation.Relation { return d.rel }
 
-// Registry owns the resident datasets, keyed on the full content hash.
-// Short ids are aliases: a hash prefix extended on collision, never
-// silently resolving to a different dataset's content. All methods are
-// safe for concurrent use.
+// Paged reports whether the dataset is colstore-backed.
+func (d *Dataset) Paged() bool { return d.Storage == StoragePaged }
+
+// Columns returns the dataset as a paged column stream: a wrapper over
+// the resident relation, or the colstore table (opened on first use and
+// kept open — evicted residents reopen lazily here).
+func (d *Dataset) Columns() (relation.Columns, error) {
+	if d.rel != nil {
+		return relation.AsColumns(d.rel), nil
+	}
+	d.handle.mu.Lock()
+	defer d.handle.mu.Unlock()
+	if d.handle.table == nil {
+		t, err := colstore.Open(d.colPath)
+		if err != nil {
+			return nil, fmt.Errorf("server: opening paged dataset %s: %w", d.ID, err)
+		}
+		d.handle.table = t
+	}
+	return d.handle.table, nil
+}
+
+// Registry owns the registered datasets, keyed on the full content
+// hash. Short ids are aliases: a hash prefix extended on collision,
+// never silently resolving to a different dataset's content. All
+// methods are safe for concurrent use.
 type Registry struct {
 	mu     sync.RWMutex
 	byHash map[string]*Dataset
 	alias  map[string]string // short id → full hash
 	lim    relation.Limits
-	max    int // resident-dataset cap (0 = unlimited)
+	max    int // dataset-count cap (0 = unlimited)
+
+	// budget caps the total CSV bytes of resident relations (0 =
+	// unlimited). With a store attached, registrations above the budget
+	// are admitted straight to the paged tier, and resident datasets are
+	// evicted to colstore (least recently used first) when the total
+	// exceeds it.
+	budget int64
+	useSeq atomic.Int64
 
 	// st, when non-nil, makes registration durable: a dataset snapshot
 	// is written before the relation becomes resident, so a restarted
-	// server re-adopts it without re-parsing the CSV.
+	// server re-adopts it without re-parsing the CSV. It also hosts the
+	// colstore directory of the paged tier.
 	st *store.Store
 }
 
@@ -65,7 +141,7 @@ type Registry struct {
 const shortIDLen = 12
 
 // NewRegistry returns an empty registry whose CSV parsing enforces lim
-// and which holds at most max resident datasets (0 = unlimited).
+// and which holds at most max datasets (0 = unlimited).
 func NewRegistry(lim relation.Limits, max int) *Registry {
 	return &Registry{
 		byHash: map[string]*Dataset{},
@@ -89,9 +165,26 @@ func (g *Registry) assignIDLocked(hash string) string {
 	return hash
 }
 
+// pagedTier reports whether the colstore tier is available: it needs
+// both a budget and a durable store to host the files.
+func (g *Registry) pagedTier() bool { return g.st != nil && g.budget > 0 }
+
+func (g *Registry) writeOpts() colstore.WriteOptions {
+	return colstore.WriteOptions{FS: g.st.FS(), Fsync: g.st.FsyncEnabled()}
+}
+
+// touch advances the dataset's LRU clock.
+func (g *Registry) touch(ds *Dataset) {
+	if ds != nil && ds.use != nil {
+		ds.use.Store(g.useSeq.Add(1))
+	}
+}
+
 // RegisterCSV parses CSV bytes and registers the resulting relation. It
 // is idempotent on content: re-registering the same bytes returns the
-// existing dataset (and reports created=false).
+// existing dataset (and reports created=false). Content larger than the
+// resident budget is admitted straight to the paged tier — streamed
+// into a colstore file instead of being parsed into memory.
 func (g *Registry) RegisterCSV(name, source string, data []byte) (ds *Dataset, created bool, err error) {
 	sum := sha256.Sum256(data)
 	hash := hex.EncodeToString(sum[:])
@@ -100,11 +193,18 @@ func (g *Registry) RegisterCSV(name, source string, data []byte) (ds *Dataset, c
 	existing := g.byHash[hash]
 	g.mu.RUnlock()
 	if existing != nil {
+		g.touch(existing)
 		return existing, false, nil
 	}
 
 	if name == "" {
 		name = "dataset-" + hash[:shortIDLen]
+	}
+	if g.budget > 0 && int64(len(data)) > g.budget {
+		if g.st == nil {
+			return nil, false, fmt.Errorf("%w (%d > %d bytes)", ErrPagedNeedsStore, len(data), g.budget)
+		}
+		return g.registerPaged(name, source, hash, data)
 	}
 	rel, err := relation.ReadCSVLimited(name, bytes.NewReader(data), g.lim)
 	if err != nil {
@@ -122,7 +222,8 @@ func (g *Registry) RegisterCSV(name, source string, data []byte) (ds *Dataset, c
 	}
 	ds = &Dataset{
 		ID: g.assignIDLocked(hash), Name: name, Hash: hash, Source: source,
-		Bytes: int64(len(data)), Summary: summary, rel: rel,
+		Bytes: int64(len(data)), Storage: StorageResident, Summary: summary,
+		rel: rel, use: &atomic.Int64{},
 	}
 	// Durability before residency: if the snapshot cannot be written the
 	// registration fails outright, so the server never carries datasets a
@@ -135,14 +236,116 @@ func (g *Registry) RegisterCSV(name, source string, data []byte) (ds *Dataset, c
 	}
 	g.byHash[hash] = ds
 	g.alias[ds.ID] = hash
+	g.touch(ds)
+	g.evictLocked()
 	return ds, true, nil
+}
+
+// registerPaged admits over-budget content to the colstore tier: the
+// CSV streams through the bounded-memory ingest into a paged file
+// (skipped when the content-addressed file already exists), and the
+// summary is computed from the value index. No snapshot is written —
+// the colstore tail carries the dataset metadata, so the file is
+// self-describing and re-adopted at boot.
+func (g *Registry) registerPaged(name, source, hash string, data []byte) (*Dataset, bool, error) {
+	dir, err := g.st.ColstoreDir()
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrStoreWrite, err)
+	}
+	path := filepath.Join(dir, hash+colstore.Ext)
+	meta := store.DatasetMeta{Hash: hash, Name: name, Source: source, Bytes: int64(len(data))}
+	if _, err := os.Stat(path); err != nil {
+		open := func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(data)), nil }
+		if _, err := colstore.Ingest(dir, meta, open, g.lim, g.writeOpts()); err != nil {
+			if errors.Is(err, colstore.ErrCorrupt) {
+				return nil, false, fmt.Errorf("%w: %v", ErrStoreWrite, err)
+			}
+			return nil, false, err
+		}
+	}
+	tbl, err := colstore.Open(path)
+	if err != nil {
+		g.st.Quarantine(path)
+		return nil, false, fmt.Errorf("%w: %v", ErrStoreWrite, err)
+	}
+	summary, err := task.DescribeColumns(tbl)
+	if err != nil {
+		tbl.Close()
+		g.st.Quarantine(path)
+		return nil, false, fmt.Errorf("%w: %v", ErrStoreWrite, err)
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if prior, ok := g.byHash[hash]; ok {
+		tbl.Close()
+		return prior, false, nil
+	}
+	if g.max > 0 && len(g.byHash) >= g.max {
+		tbl.Close()
+		return nil, false, fmt.Errorf("%w (%d resident)", ErrDatasetLimit, len(g.byHash))
+	}
+	ds := &Dataset{
+		ID: g.assignIDLocked(hash), Name: name, Hash: hash, Source: source,
+		Bytes: meta.Bytes, Storage: StoragePaged, Summary: summary,
+		colPath: path, use: &atomic.Int64{}, handle: &pagedHandle{table: tbl},
+	}
+	g.byHash[hash] = ds
+	g.alias[ds.ID] = hash
+	g.touch(ds)
+	return ds, true, nil
+}
+
+// evictLocked pages resident relations out to colstore files, least
+// recently used first, until the resident total fits the budget. An
+// evicted dataset keeps its id, summary and cache keys; its registry
+// entry is replaced by a paged copy whose colstore handle reopens
+// lazily on next use. Requires the paged tier; a write failure stops
+// eviction (the dataset simply stays resident). The caller holds g.mu.
+func (g *Registry) evictLocked() {
+	if !g.pagedTier() {
+		return
+	}
+	for g.residentBytesLocked() > g.budget {
+		var victim *Dataset
+		for _, ds := range g.byHash {
+			if ds.rel == nil {
+				continue
+			}
+			if victim == nil || ds.use.Load() < victim.use.Load() {
+				victim = ds
+			}
+		}
+		if victim == nil {
+			return
+		}
+		dir, err := g.st.ColstoreDir()
+		if err != nil {
+			return
+		}
+		path := filepath.Join(dir, victim.Hash+colstore.Ext)
+		if _, err := os.Stat(path); err != nil {
+			meta := store.DatasetMeta{Hash: victim.Hash, Name: victim.Name, Source: victim.Source, Bytes: victim.Bytes}
+			if _, err := colstore.WriteFromRelation(dir, meta, victim.rel, g.writeOpts()); err != nil {
+				return
+			}
+		}
+		paged := &Dataset{
+			ID: victim.ID, Name: victim.Name, Hash: victim.Hash, Source: victim.Source,
+			Bytes: victim.Bytes, Storage: StoragePaged, Summary: victim.Summary,
+			colPath: path, use: victim.use, handle: &pagedHandle{},
+		}
+		g.byHash[victim.Hash] = paged
+	}
 }
 
 // Adopt makes a dataset recovered from the durable store resident
 // without re-writing its snapshot. Instance statistics are recomputed
-// from the decoded relation. Already-resident content is returned as
-// is; the resident cap still applies (a nil return means the snapshot
-// stays on disk but is not adopted).
+// from the decoded relation; the source size comes from the snapshot
+// header, not the decoded instance. Already-resident content is
+// returned as is; the dataset cap still applies (a nil return means the
+// snapshot stays on disk but is not adopted). Adoption honors the
+// resident budget: over-budget relations are paged back out right away.
 func (g *Registry) Adopt(meta store.DatasetMeta, rel *relation.Relation) *Dataset {
 	summary := task.Describe(rel)
 	g.mu.Lock()
@@ -155,11 +358,87 @@ func (g *Registry) Adopt(meta store.DatasetMeta, rel *relation.Relation) *Datase
 	}
 	ds := &Dataset{
 		ID: g.assignIDLocked(meta.Hash), Name: meta.Name, Hash: meta.Hash,
-		Source: meta.Source, Bytes: meta.Bytes, Summary: summary, rel: rel,
+		Source: meta.Source, Bytes: meta.Bytes, Storage: StorageResident,
+		Summary: summary, rel: rel, use: &atomic.Int64{},
 	}
 	g.byHash[meta.Hash] = ds
 	g.alias[ds.ID] = meta.Hash
-	return ds
+	g.touch(ds)
+	g.evictLocked()
+	return g.byHash[meta.Hash]
+}
+
+// RecoverColstore sweeps the colstore directory at boot: leftover temp
+// files are removed, foreign or corrupt files are quarantined, and
+// every valid paged file whose content is not already registered is
+// adopted as a paged dataset. Call after snapshot adoption so datasets
+// holding both a snapshot and a paged file prefer the resident tier.
+func (g *Registry) RecoverColstore() {
+	if g.st == nil {
+		return
+	}
+	dir, err := g.st.ColstoreDir()
+	if err != nil {
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		if strings.HasPrefix(e.Name(), store.TempPrefix) {
+			os.Remove(path) // torn write from a previous life
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), colstore.Ext) {
+			g.st.Quarantine(path)
+			continue
+		}
+		hash := strings.TrimSuffix(e.Name(), colstore.Ext)
+		g.mu.RLock()
+		_, known := g.byHash[hash]
+		g.mu.RUnlock()
+		if known {
+			continue
+		}
+		tbl, err := colstore.Open(path)
+		if err != nil {
+			g.st.Quarantine(path)
+			continue
+		}
+		meta := tbl.Meta()
+		if meta.Hash != hash {
+			tbl.Close()
+			g.st.Quarantine(path)
+			continue
+		}
+		summary, err := task.DescribeColumns(tbl)
+		if err != nil {
+			tbl.Close()
+			g.st.Quarantine(path)
+			continue
+		}
+		g.mu.Lock()
+		if _, ok := g.byHash[hash]; ok || (g.max > 0 && len(g.byHash) >= g.max) {
+			g.mu.Unlock()
+			tbl.Close()
+			continue
+		}
+		ds := &Dataset{
+			ID: g.assignIDLocked(hash), Name: meta.Name, Hash: hash,
+			Source: meta.Source, Bytes: meta.Bytes, Storage: StoragePaged,
+			Summary: summary, colPath: path, use: &atomic.Int64{},
+			handle: &pagedHandle{table: tbl},
+		}
+		g.byHash[hash] = ds
+		g.alias[ds.ID] = hash
+		g.touch(ds)
+		g.mu.Unlock()
+	}
 }
 
 // RegisterPath reads a CSV file from the server's filesystem and
@@ -172,10 +451,19 @@ func (g *Registry) RegisterPath(path string) (*Dataset, bool, error) {
 	return g.RegisterCSV(filepath.Base(path), path, data)
 }
 
-// Get returns the dataset with the given short id or full content hash.
+// Get returns the dataset with the given short id or full content hash,
+// advancing its LRU clock.
 func (g *Registry) Get(id string) (*Dataset, bool) {
 	g.mu.RLock()
-	defer g.mu.RUnlock()
+	ds, ok := g.getLocked(id)
+	g.mu.RUnlock()
+	if ok {
+		g.touch(ds)
+	}
+	return ds, ok
+}
+
+func (g *Registry) getLocked(id string) (*Dataset, bool) {
 	if hash, ok := g.alias[id]; ok {
 		return g.byHash[hash], true
 	}
@@ -195,21 +483,28 @@ func (g *Registry) List() []*Dataset {
 	return out
 }
 
-// Len returns the number of registered datasets.
+// Len returns the number of registered datasets (both tiers).
 func (g *Registry) Len() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return len(g.byHash)
 }
 
-// ResidentBytes returns the total CSV source size of every resident
-// dataset.
+// ResidentBytes returns the total CSV source size of the datasets whose
+// relations are resident in memory; paged datasets cost pages, not
+// residency, and are excluded.
 func (g *Registry) ResidentBytes() int64 {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
+	return g.residentBytesLocked()
+}
+
+func (g *Registry) residentBytesLocked() int64 {
 	var total int64
 	for _, ds := range g.byHash {
-		total += ds.Bytes
+		if ds.rel != nil {
+			total += ds.Bytes
+		}
 	}
 	return total
 }

@@ -67,6 +67,14 @@ type Config struct {
 	// MaxDatasets caps how many parsed relations stay resident
 	// (default 64); registrations beyond it are rejected.
 	MaxDatasets int
+	// ResidentBytes caps the total CSV bytes of relations held in
+	// memory (0 = unlimited). It needs Store: registrations above the
+	// budget are admitted out of core — streamed into a colstore file
+	// and served page-at-a-time ("storage":"paged") — and resident
+	// datasets are evicted to colstore, least recently used first, when
+	// the total exceeds the budget. Evicted datasets keep their id and
+	// summary; their paged handles reopen lazily.
+	ResidentBytes int64
 	// MaxJobs caps how many job records are retained (default 1024);
 	// beyond it the oldest terminal jobs are forgotten.
 	MaxJobs int
@@ -143,12 +151,14 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 	}
 	s.reg.st = cfg.Store
+	s.reg.budget = cfg.ResidentBytes
 	s.cache.st = cfg.Store
 	s.jobs = NewRunner(s.reg, s.cache, cfg.Store, exec.NewScheduler(cfg.Procs), cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.MaxJobs)
 	if cfg.Store != nil {
 		for _, ld := range cfg.Store.Datasets() {
 			s.reg.Adopt(ld.Meta, ld.Rel)
 		}
+		s.reg.RecoverColstore()
 		s.jobs.Preload(cfg.Store.Jobs())
 	}
 	s.registerMetrics()

@@ -92,6 +92,11 @@ func (osFS) SyncDir(dir string) error {
 // delete anything carrying it, so a crash mid-write leaves no ghosts.
 const tempPrefix = ".tmp-"
 
+// TempPrefix is tempPrefix for sibling subsystems (colstore) that write
+// through the same FS with the same temp→rename discipline, so one boot
+// sweep convention covers every directory under the durable root.
+const TempPrefix = tempPrefix
+
 // writeAtomic writes data to path via a unique temp file in the same
 // directory: temp → (fsync) → rename → (fsync dir). A crash at any
 // point leaves either the old file or the new one, never a torn mix.

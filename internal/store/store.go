@@ -163,6 +163,29 @@ func (s *Store) Close() error {
 	return err
 }
 
+// ColstoreDir returns (creating it if needed) the directory for paged
+// columnar dataset files, which live under the same durable root as the
+// snapshots so one -persist flag owns all dataset state.
+func (s *Store) ColstoreDir() (string, error) {
+	dir := filepath.Join(s.root, "colstore")
+	if err := s.fsys.MkdirAll(dir); err != nil {
+		return "", fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	return dir, nil
+}
+
+// FS returns the filesystem the store writes through, so sibling
+// subsystems (colstore) share the same write discipline and fault
+// injection in tests.
+func (s *Store) FS() FS { return s.fsys }
+
+// FsyncEnabled reports whether durable writes fsync before rename.
+func (s *Store) FsyncEnabled() bool { return s.fsync }
+
+// Quarantine moves a corrupt file out of the live tree; exported for
+// the colstore subsystem, whose paged files live under the same root.
+func (s *Store) Quarantine(path string) { s.quarantine(path) }
+
 // quarantine moves a corrupt file out of the live tree so recovery
 // never trusts it again but an operator can still inspect it.
 func (s *Store) quarantine(path string) {

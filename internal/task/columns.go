@@ -1,0 +1,214 @@
+package task
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"structmine/internal/attrs"
+	"structmine/internal/fd"
+	"structmine/internal/fdrank"
+	"structmine/internal/it"
+	"structmine/internal/measures"
+	"structmine/internal/relation"
+	"structmine/internal/tuples"
+	"structmine/internal/values"
+)
+
+// ErrNotPaged marks a task that has no paged runner: it needs the full
+// resident relation (string values, random row access) and cannot run
+// over a colstore-backed dataset.
+var ErrNotPaged = errors.New("task has no paged runner")
+
+// RunColumns executes the named task over the paged column interface.
+// Only the tasks whose Spec carries Paged support this path; the rest
+// fail with an error wrapping ErrNotPaged, so the server can reject a
+// submission before scheduling it. Results are identical to Run over
+// the equivalent resident relation (see the property tests), except for
+// describe's tuple_info_bits, which is computed in closed form here and
+// may differ in the last few ulps.
+func RunColumns(ctx context.Context, c relation.Columns, taskName string, p Params) (any, error) {
+	spec, ok := Lookup(taskName)
+	if !ok {
+		return nil, fmt.Errorf("task: unknown task %q", taskName)
+	}
+	if !spec.Paged {
+		return nil, fmt.Errorf("task: %q over a paged dataset: %w", taskName, ErrNotPaged)
+	}
+	p = p.Normalize(taskName)
+	switch taskName {
+	case "describe":
+		return runDescribeColumns(ctx, c)
+	case "mine-fds":
+		return runMineFDsColumns(ctx, c)
+	case "rank-fds":
+		return runRankFDsColumns(ctx, c, p)
+	}
+	return nil, fmt.Errorf("task: %q over a paged dataset: %w", taskName, ErrNotPaged)
+}
+
+// DescribeColumns builds the instance summary from the column pages and
+// the value index, never materializing the relation. Because every
+// value id is attribute-qualified, each tuple's conditional is uniform
+// over exactly m ids, so H(V|T) = log2(m) exactly and
+// I(T;V) = H(V) − log2(m) with H(V) over the marginal p(v) = n_v/(n·m).
+func DescribeColumns(c relation.Columns) (*DescribeResult, error) {
+	n := c.N()
+	m := c.M()
+	res := &DescribeResult{
+		Relation:       c.Name(),
+		Tuples:         n,
+		Attributes:     m,
+		DistinctValues: c.D(),
+	}
+	names := c.AttrNames()
+	for a := 0; a < m; a++ {
+		hv := 0.0
+		total := float64(n) * float64(m)
+		var counts []int
+		err := c.VisitValues(a, func(v int32, count int, runs []relation.Run) error {
+			counts = append(counts, count)
+			if count > 0 && n > 0 {
+				p := float64(count) / total
+				hv -= p * math.Log2(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.TupleInfoBits += hv
+		distinct := len(counts)
+		// The single-attribute projection counts are exactly the per-value
+		// occurrence counts; sorted descending they are the same sequence
+		// ProjectionCounts emits, so the entropy sum is bit-identical.
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		nullFrac := 0.0
+		if n > 0 {
+			nullFrac = float64(c.NullCount(a)) / float64(n)
+		}
+		res.Attrs = append(res.Attrs, AttrProfile{
+			Name:         names[a],
+			Distinct:     distinct,
+			NullFraction: nullFrac,
+			EntropyBits:  it.EntropyCounts(counts),
+		})
+	}
+	if n > 0 && m > 0 {
+		res.TupleInfoBits -= math.Log2(float64(m))
+	} else {
+		res.TupleInfoBits = 0
+	}
+	return res, nil
+}
+
+func runDescribeColumns(ctx context.Context, c relation.Columns) (*DescribeResult, error) {
+	if err := step(ctx, "describe"); err != nil {
+		return nil, err
+	}
+	return DescribeColumns(c)
+}
+
+// newFDItemNames is newFDItem for callers that only have attribute
+// names.
+func newFDItemNames(names []string, f fd.FD) FDItem {
+	item := FDItem{Label: f.Format(names), LHS: []string{}, RHS: []string{}}
+	for _, a := range f.LHS.Attrs() {
+		item.LHS = append(item.LHS, names[a])
+	}
+	for _, a := range f.RHS.Attrs() {
+		item.RHS = append(item.RHS, names[a])
+	}
+	return item
+}
+
+func runMineFDsColumns(ctx context.Context, c relation.Columns) (*FDsResult, error) {
+	if err := step(ctx, "dependency mining"); err != nil {
+		return nil, err
+	}
+	fds, err := fd.DiscoverColumns(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	if err := step(ctx, "minimum cover"); err != nil {
+		return nil, err
+	}
+	names := c.AttrNames()
+	res := &FDsResult{NumMinimal: len(fds), Cover: []FDItem{}}
+	for _, f := range fd.MinCover(fds) {
+		res.Cover = append(res.Cover, newFDItemNames(names, f))
+	}
+	return res, nil
+}
+
+// clusterValuesForColumns mirrors clusterValuesFor over the paged
+// interface: same stage boundaries, same object construction order, so
+// the clustering is bit-identical to the resident run.
+func clusterValuesForColumns(ctx context.Context, c relation.Columns, p Params) (*values.Clustering, error) {
+	if !p.Double {
+		objs, err := values.ObjectsColumns(c)
+		if err != nil {
+			return nil, err
+		}
+		return values.ClusterCtx(ctx, objs, fv(p.PhiV), defaultB, c.M()), nil
+	}
+	assign, k, err := tuples.CompressColumns(ctx, c, fv(p.PhiT), defaultB)
+	if err != nil {
+		return nil, err
+	}
+	if err := step(ctx, "value clustering over tuple clusters"); err != nil {
+		return nil, err
+	}
+	objs, err := values.ObjectsOverClustersColumns(c, assign, k)
+	if err != nil {
+		return nil, err
+	}
+	return values.ClusterCtx(ctx, objs, fv(p.PhiV), defaultB, c.M()), nil
+}
+
+func runRankFDsColumns(ctx context.Context, c relation.Columns, p Params) (*RankFDsResult, error) {
+	if err := step(ctx, "dependency mining"); err != nil {
+		return nil, err
+	}
+	fds, err := fd.DiscoverColumns(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	cover := fd.MinCover(fds)
+	if err := step(ctx, "value clustering"); err != nil {
+		return nil, err
+	}
+	vc, err := clusterValuesForColumns(ctx, c, Params{Double: c.N() > largeInstance})
+	if err != nil {
+		return nil, err
+	}
+	if err := step(ctx, "attribute grouping"); err != nil {
+		return nil, err
+	}
+	names := c.AttrNames()
+	g := attrs.GroupNamesCtx(ctx, names, vc)
+	if err := step(ctx, "ranking"); err != nil {
+		return nil, err
+	}
+	psi := fv(p.Psi)
+	ranked := fdrank.Rank(cover, g, psi)
+	res := &RankFDsResult{Psi: psi, NumMinimal: len(fds), CoverSize: len(cover), Ranked: []RankedFDItem{}}
+	for _, rf := range ranked {
+		ix := rf.FD.Attrs().Attrs()
+		rad, err := measures.RADColumns(c, ix)
+		if err != nil {
+			return nil, err
+		}
+		rtr, err := measures.RTRColumns(c, ix)
+		if err != nil {
+			return nil, err
+		}
+		res.Ranked = append(res.Ranked, RankedFDItem{
+			FD: newFDItemNames(names, rf.FD), Rank: rf.Rank, Updated: rf.Updated,
+			RAD: rad, RTR: rtr,
+		})
+	}
+	return res, nil
+}

@@ -30,20 +30,23 @@ type Spec struct {
 	// MultiFile marks tasks that operate on several CSV files at once
 	// (joins); these are CLI-only and cannot run as server jobs.
 	MultiFile bool
+	// Paged marks tasks that can run over a colstore-backed (out-of-core)
+	// dataset via RunColumns; the rest need the resident relation.
+	Paged bool
 }
 
 // Specs lists every task, in presentation order.
 var Specs = []Spec{
-	{Name: "describe", Synopsis: "print instance statistics and per-attribute profiles"},
+	{Name: "describe", Synopsis: "print instance statistics and per-attribute profiles", Paged: true},
 	{Name: "report", Synopsis: "full structure report (profiles, duplicates, ranked FDs)", Flags: "-phit -phiv -psi"},
 	{Name: "dedup", Synopsis: "find duplicate / near-duplicate tuples", Flags: "-phit -minsim"},
 	{Name: "partition", Synopsis: "horizontal partitioning (0 = automatic k)", Flags: "-k"},
 	{Name: "values", Synopsis: "cluster co-occurring attribute values", Flags: "-phiv"},
 	{Name: "group-attrs", Synopsis: "attribute grouping dendrogram", Flags: "-phiv -double"},
-	{Name: "mine-fds", Synopsis: "discover minimal FDs (+ minimum cover)"},
+	{Name: "mine-fds", Synopsis: "discover minimal FDs (+ minimum cover)", Paged: true},
 	{Name: "mine-mvds", Synopsis: "discover multivalued dependencies (X ->-> Y)", Flags: "-maxlhs"},
 	{Name: "approx-fds", Synopsis: "discover approximate FDs under a g3 bound", Flags: "-eps"},
-	{Name: "rank-fds", Synopsis: "FD-RANK pipeline with RAD/RTR per dependency", Flags: "-psi"},
+	{Name: "rank-fds", Synopsis: "FD-RANK pipeline with RAD/RTR per dependency", Flags: "-psi", Paged: true},
 	{Name: "decompose", Synopsis: "apply the top-ranked FD as a lossless vertical split", Flags: "-psi"},
 	{Name: "joins", Synopsis: "discover join paths across several CSVs", Flags: "-mincont", MultiFile: true},
 }

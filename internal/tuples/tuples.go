@@ -31,6 +31,40 @@ func Objects(r *relation.Relation) []limbo.Obj {
 	return objs
 }
 
+// ObjectsColumns is Objects over the paged column interface: one page
+// stripe is resident at a time, and each tuple's object is identical to
+// the resident construction (same ids, same uniform conditionals), so
+// downstream clustering is bit-identical.
+func ObjectsColumns(c relation.Columns) ([]limbo.Obj, error) {
+	n := c.N()
+	m := c.M()
+	objs := make([]limbo.Obj, n)
+	cols := make([][]int32, m)
+	row := make([]int32, m)
+	t := 0
+	for p := 0; p < c.NumPages(); p++ {
+		var err error
+		for a := 0; a < m; a++ {
+			if cols[a], err = c.ReadPage(p, a, cols[a]); err != nil {
+				return nil, err
+			}
+		}
+		rows := c.PageLen(p)
+		for i := 0; i < rows; i++ {
+			for a := 0; a < m; a++ {
+				row[a] = cols[a][i]
+			}
+			objs[t] = limbo.Obj{
+				ID:   int32(t),
+				W:    1.0 / float64(n),
+				Cond: it.Uniform(row), // Uniform copies; row is reused
+			}
+			t++
+		}
+	}
+	return objs, nil
+}
+
 // DuplicateReport is the outcome of the duplicate-tuple procedure of
 // Section 6.1.1.
 type DuplicateReport struct {
@@ -230,7 +264,22 @@ func Compress(r *relation.Relation, phiT float64, b int) ([]int, int) {
 // CompressCtx is Compress under the context's worker budget and arena
 // pool.
 func CompressCtx(ctx context.Context, r *relation.Relation, phiT float64, b int) ([]int, int) {
-	objs := Objects(r)
+	return compressObjs(ctx, Objects(r), phiT, b)
+}
+
+// CompressColumns is Compress over the paged column interface; tuple
+// objects stream from page stripes and the insertion pass is shared
+// with the resident path.
+func CompressColumns(ctx context.Context, c relation.Columns, phiT float64, b int) ([]int, int, error) {
+	objs, err := ObjectsColumns(c)
+	if err != nil {
+		return nil, 0, err
+	}
+	cluster, k := compressObjs(ctx, objs, phiT, b)
+	return cluster, k, nil
+}
+
+func compressObjs(ctx context.Context, objs []limbo.Obj, phiT float64, b int) ([]int, int) {
 	tau := limbo.Threshold(phiT, limbo.MutualInfo(objs), len(objs))
 	tree := limbo.NewTreeCtx(ctx, limbo.Config{B: b, Threshold: tau})
 	leafOf := make([]*limbo.DCF, len(objs))

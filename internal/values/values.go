@@ -36,6 +36,88 @@ func Objects(r *relation.Relation) []limbo.Obj {
 	return objs
 }
 
+// ObjectsColumns is Objects over the paged column interface: postings
+// stream from the value index instead of a Stats scan, producing
+// objects identical to the resident construction (the index lists the
+// same ascending tuple ids Stats.Tuples holds).
+func ObjectsColumns(c relation.Columns) ([]limbo.Obj, error) {
+	d := c.D()
+	m := c.M()
+	objs := make([]limbo.Obj, d)
+	var tuples []int32
+	for a := 0; a < m; a++ {
+		attr := a
+		err := c.VisitValues(a, func(v int32, count int, runs []relation.Run) error {
+			counts := make([]int64, m)
+			counts[attr] = int64(count)
+			tuples = expandRuns(tuples[:0], runs)
+			objs[v] = limbo.Obj{
+				ID:     v,
+				W:      1.0 / float64(d),
+				Cond:   it.Uniform(tuples), // Uniform copies; tuples is reused
+				Counts: counts,
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return objs, nil
+}
+
+// ObjectsOverClustersColumns is ObjectsOverClusters over the paged
+// column interface. Cluster mass accumulates in ascending tuple order —
+// the same order the resident Stats scan feeds — so the float sums are
+// bit-identical.
+func ObjectsOverClustersColumns(c relation.Columns, tupleCluster []int, k int) ([]limbo.Obj, error) {
+	d := c.D()
+	m := c.M()
+	objs := make([]limbo.Obj, d)
+	for a := 0; a < m; a++ {
+		attr := a
+		err := c.VisitValues(a, func(v int32, count int, runs []relation.Run) error {
+			counts := make([]int64, m)
+			counts[attr] = int64(count)
+			mass := map[int32]float64{}
+			dv := float64(count)
+			for _, r := range runs {
+				for t := r.Start; t < r.Start+r.Len; t++ {
+					cl := tupleCluster[t]
+					if cl >= 0 && cl < k {
+						mass[int32(cl)] += 1.0 / dv
+					}
+				}
+			}
+			es := make([]it.Entry, 0, len(mass))
+			for idx, p := range mass {
+				es = append(es, it.Entry{Idx: idx, P: p})
+			}
+			objs[v] = limbo.Obj{
+				ID:     v,
+				W:      1.0 / float64(d),
+				Cond:   it.NewVec(es),
+				Counts: counts,
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return objs, nil
+}
+
+// expandRuns appends the tuple ids a run list covers, ascending.
+func expandRuns(dst []int32, runs []relation.Run) []int32 {
+	for _, r := range runs {
+		for t := r.Start; t < r.Start+r.Len; t++ {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
 // ObjectsOverClusters expresses values over a compressed tuple axis
 // (double clustering): p(c_t|v) is the fraction of v's occurrences that
 // fall in tuple cluster c_t.

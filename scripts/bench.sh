@@ -11,7 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_1.json}
-pattern='^(BenchmarkAIBInit|BenchmarkAgglomerate|BenchmarkMicroAIB|BenchmarkMicroEntropy|BenchmarkMicroJS|BenchmarkMicroDeltaISmallVsLarge|BenchmarkMicroDCFTreeInsert|BenchmarkDCFTreeInsert|BenchmarkTANE)$'
+pattern='^(BenchmarkAIBInit|BenchmarkAgglomerate|BenchmarkMicroAIB|BenchmarkMicroEntropy|BenchmarkMicroJS|BenchmarkMicroDeltaISmallVsLarge|BenchmarkMicroDCFTreeInsert|BenchmarkDCFTreeInsert|BenchmarkTANE|BenchmarkColstoreScan)$'
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT

@@ -40,10 +40,12 @@ echo "smoke: building structmined and generating the DB2 sample"
 go build -o "$workdir/structmined" ./cmd/structmined
 go run ./cmd/datagen db2 -out "$workdir" >/dev/null
 
-# boot LOGFILE — start a daemon over $workdir/state; sets $pid and $base.
+# boot LOGFILE [FLAGS...] — start a daemon (default store $workdir/state,
+# override with explicit flags); sets $pid and $base.
 boot() {
-  local log=$1
-  "$workdir/structmined" -addr 127.0.0.1:0 -workers 2 -persist "$workdir/state" >"$log" 2>&1 &
+  local log=$1; shift
+  [ $# -gt 0 ] || set -- -persist "$workdir/state"
+  "$workdir/structmined" -addr 127.0.0.1:0 -workers 2 "$@" >"$log" 2>&1 &
   pid=$!
   disown "$pid" # keep bash from reporting the deliberate SIGKILL below
   local addr=""
@@ -173,5 +175,68 @@ if kill -0 "$pid" 2>/dev/null; then
 fi
 pid=""
 echo "smoke: graceful shutdown ok"
+
+# --- out-of-core (paged colstore) phase -----------------------------------
+# A daemon with a tiny resident budget must admit the sample as a paged
+# (out-of-core) dataset, mine it from the colstore file, survive a
+# SIGKILL, and re-adopt the paged dataset at boot without a snapshot.
+echo "smoke: booting a budgeted daemon (-resident-bytes 1024) for the paged tier"
+boot "$workdir/log3" -persist "$workdir/state2" -resident-bytes 1024
+
+reg=$(curl -sS -X POST --data-binary @"$workdir/db2sample.csv" \
+  -H 'Content-Type: text/csv' "$base/v1/datasets?name=db2paged")
+ds=$(echo "$reg" | jq -r .id)
+storage=$(echo "$reg" | jq -r .storage)
+[ "$storage" = paged ] || { echo "smoke: FAIL — over-budget dataset admitted as $storage, want paged"; exit 1; }
+echo "smoke: over-budget dataset $ds admitted out of core (storage=paged)"
+
+job=$(submit)
+id=$(echo "$job" | jq -r .id)
+state=$(echo "$job" | jq -r .state)
+for _ in $(seq 1 600); do
+  case "$state" in done) break ;; failed|canceled)
+    echo "smoke: FAIL — paged job $id reached state $state"; exit 1 ;; esac
+  sleep 0.1
+  state=$(curl -sS "$base/v1/jobs/$id" | jq -r .state)
+done
+[ "$state" = done ] || { echo "smoke: FAIL — paged job $id stuck in $state"; exit 1; }
+pranked=$(curl -sS "$base/v1/jobs/$id/result" | jq '.result.ranked | length')
+[ "$pranked" = "$ranked" ] || { echo "smoke: FAIL — paged rank-fds found $pranked dependencies, resident found $ranked"; exit 1; }
+echo "smoke: paged rank-fds job $id done, matches the resident run ($pranked dependencies)"
+
+curl -sS "$base/v1/metrics" | grep '^structmine_colstore_pages_read_total' >/dev/null \
+  || { echo "smoke: FAIL — colstore page-read counter missing from /v1/metrics"; exit 1; }
+echo "smoke: colstore series exposed on /v1/metrics"
+
+echo "smoke: SIGKILL the budgeted daemon and restart over the same store"
+kill -KILL "$pid"
+for _ in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+pid=""
+boot "$workdir/log4" -persist "$workdir/state2" -resident-bytes 1024
+
+pstorage=$(curl -sS "$base/v1/datasets/$ds" | jq -r .storage)
+[ "$pstorage" = paged ] || { echo "smoke: FAIL — paged dataset not re-adopted after SIGKILL (storage=$pstorage)"; exit 1; }
+echo "smoke: paged dataset $ds re-adopted from its colstore file"
+
+pagain=$(submit)
+phit=$(echo "$pagain" | jq -r .cache_hit)
+pstate=$(echo "$pagain" | jq -r .state)
+if [ "$phit" != true ] || [ "$pstate" != done ]; then
+  echo "smoke: FAIL — post-crash paged repeat not a cache hit (hit=$phit state=$pstate)"; exit 1
+fi
+echo "smoke: post-crash paged query served from the durable cache"
+
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+  echo "smoke: FAIL — budgeted server did not drain on SIGTERM"; exit 1
+fi
+pid=""
 echo "smoke: PASS"
 status=0
