@@ -402,6 +402,63 @@ func BenchmarkColstoreScan(b *testing.B) {
 	})
 }
 
+// BenchmarkAppendRemine is the incremental-mining cost gate: after a 1%
+// append, re-mining through the persisted FD state (decode, extend the
+// value partitions by the appended rows, re-check only the touched
+// dependencies) must be far cheaper than mining the appended relation
+// from scratch. The appended rows duplicate existing tuples, so the
+// delta path genuinely engages — duplicates can never break an FD — and
+// both paths return the identical minimal set. CI runs this pair and
+// fails if full/delta falls below the ratio floor (see the incremental
+// job and scripts/benchcmp.sh --ratio).
+func BenchmarkAppendRemine(b *testing.B) {
+	base := benchDBLP(b).Project(datagen.ProjectionAttrs())
+	k := base.N() / 100
+	rows := make([][]string, k)
+	for i := range rows {
+		rows[i] = base.TupleStrings(i)
+	}
+	ext, err := base.Extend(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	baseFDs, err := fd.DiscoverCtx(ctx, base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := fd.EncodeState(fd.NewMineState(base, baseFDs))
+
+	prev, err := fd.DecodeState(state)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, delta, err := fd.DiscoverDelta(ctx, ext, prev); err != nil || !delta {
+		b.Fatalf("delta path did not engage: delta=%v err=%v", delta, err)
+	}
+
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fd.DiscoverCtx(ctx, ext); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// State decode sits inside the timed region: the server pays it on
+	// every delta re-mine, so the gate must too.
+	b.Run("delta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prev, err := fd.DecodeState(state)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, delta, err := fd.DiscoverDelta(ctx, ext, prev); err != nil || !delta {
+				b.Fatalf("delta=%v err=%v", delta, err)
+			}
+		}
+	})
+}
+
 func BenchmarkMicroAIB(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
 	objs := make([]ib.Object, 200)

@@ -42,6 +42,7 @@
 //	POST /v1/datasets            register a dataset (raw CSV body, or JSON {"path":...} / {"name":...,"csv":...})
 //	GET  /v1/datasets            list registered datasets
 //	GET  /v1/datasets/{id}       one dataset with its resident statistics
+//	POST /v1/datasets/{id}/append  append CSV rows (same header); bumps the epoch, re-mines by delta (/v1 only)
 //	POST /v1/jobs                submit a job: {"dataset":id,"task":name,"params":{...}}
 //	GET  /v1/jobs                list jobs
 //	GET  /v1/jobs/{id}           poll one job (queued|running|done|failed|canceled)

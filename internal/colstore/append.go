@@ -1,0 +1,182 @@
+package colstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"structmine/internal/relation"
+	"structmine/internal/store"
+)
+
+// Append writes the post-append state of a paged dataset as a new .col
+// file named newMeta.Hash+Ext under dir, extending old with the rows of
+// the appended CSV body (header line plus data rows, shape-checked
+// against the table's schema). The old file is left untouched; the
+// caller removes it once the new one is published.
+//
+// The output is byte-identical to a fresh Ingest of the concatenated
+// source under the same metadata: full old stripes are copied verbatim
+// (their offsets and CRCs are position-independent), the trailing
+// partial stripe and the appended rows are replayed through the normal
+// writer, and new values intern after the old dictionary in
+// first-appearance order — exactly the ids a from-scratch pass would
+// assign. Memory stays bounded by the dictionary, the value index, and
+// one page stripe, plus the appended body itself.
+func Append(dir string, newMeta store.DatasetMeta, old *Table, body []byte, lim relation.Limits, opt WriteOptions) (string, error) {
+	opt = opt.normalized()
+	// Stripe geometry is inherited: mixing page sizes within one lineage
+	// would break the verbatim stripe copy and the fresh-ingest identity.
+	opt.PageRows = old.h.pageRows
+
+	// Parse the appended body under the same shape checks registration
+	// applies, against the on-disk schema.
+	var newRows [][]string
+	err := relation.ScanCSV(bytes.NewReader(body), lim, func(header []string) error {
+		if len(header) != len(old.attrs) {
+			return fmt.Errorf("%w: %d columns, dataset has %d",
+				relation.ErrShapeMismatch, len(header), len(old.attrs))
+		}
+		for i, name := range header {
+			if name != old.attrs[i] {
+				return fmt.Errorf("%w: column %d is %q, dataset has %q",
+					relation.ErrShapeMismatch, i+1, name, old.attrs[i])
+			}
+		}
+		return nil
+	}, func(line int, rec []string) error {
+		newRows = append(newRows, append([]string(nil), rec...))
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+
+	// Rebuild the dictionary from the old tail and intern the appended
+	// rows; unseen values take dense ids after the old ones, in
+	// first-appearance row-major order.
+	valueStr, err := old.ValueStrings()
+	if err != nil {
+		return "", err
+	}
+	m, oldD := old.h.m, old.h.d
+	maps := make([]map[string]int32, m)
+	for a := range maps {
+		maps[a] = map[string]int32{}
+	}
+	valueAttr := make([]int, oldD, oldD+m)
+	for v := 0; v < oldD; v++ {
+		a := int(old.valueAttr[v])
+		valueAttr[v] = a
+		maps[a][valueStr[v]] = int32(v)
+	}
+	rows := make([][]int32, len(newRows))
+	ids := make([]int32, len(newRows)*m)
+	for t, rec := range newRows {
+		row := ids[t*m : (t+1)*m : (t+1)*m]
+		for a, s := range rec {
+			if s == "" {
+				s = relation.Null
+			}
+			id, ok := maps[a][s]
+			if !ok {
+				id = int32(len(valueStr))
+				maps[a][s] = id
+				valueStr = append(valueStr, s)
+				valueAttr = append(valueAttr, a)
+			}
+			row[a] = id
+		}
+		rows[t] = row
+	}
+	nullID := make([]int32, m)
+	for a := range nullID {
+		nullID[a] = -1
+		if id, ok := maps[a][relation.Null]; ok {
+			nullID[a] = id
+		}
+	}
+
+	oldN := old.h.n
+	pageRows := int64(old.h.pageRows)
+	fullStart := (oldN / pageRows) * pageRows
+	h := header{pageRows: old.h.pageRows, m: m, n: oldN + int64(len(rows)), d: len(valueStr)}
+
+	return writeFile(dir, newMeta, opt, h, old.relName, old.attrs, nullID, valueAttr, valueStr, func(w *writer) error {
+		// Copy full old stripes verbatim, re-checking each page CRC on
+		// the way through so corruption never propagates into a new file.
+		fullStripes := int(fullStart / pageRows)
+		for s := 0; s < fullStripes; s++ {
+			for a := 0; a < m; a++ {
+				b, err := old.mm.readAt(old.h.pageOff(s, a), int(pageSize(old.h.pageRows)))
+				if err != nil {
+					return err
+				}
+				data := b[:old.h.pageRows*4]
+				if got, want := binary.LittleEndian.Uint32(b[len(data):]), crc32.ChecksumIEEE(data); got != want {
+					return fmt.Errorf("%w: page (%d,%d) CRC32 %08x, computed %08x", ErrCorrupt, s, a, got, want)
+				}
+				if err := w.write(b); err != nil {
+					return err
+				}
+			}
+		}
+		w.rows = fullStart
+
+		// Seed the value index with the old postings clipped to the
+		// copied rows; the replay below re-extends them, merging runs
+		// exactly as an uninterrupted writer would have.
+		for a := 0; a < m; a++ {
+			err := old.VisitValues(a, func(v int32, count int, runs []relation.Run) error {
+				p := &w.post[v]
+				for _, run := range runs {
+					if int64(run.Start) >= fullStart {
+						break
+					}
+					if end := int64(run.Start) + int64(run.Len); end > fullStart {
+						run.Len = int32(fullStart) - run.Start
+					}
+					p.count += int(run.Len)
+					p.runs = append(p.runs, run)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if id := nullID[a]; id >= 0 && int(id) < oldD {
+				w.nullCount[a] = w.post[id].count
+			}
+		}
+
+		// Replay the trailing partial stripe from the old pages, then the
+		// appended rows.
+		if oldN > fullStart {
+			tailLen := int(oldN - fullStart)
+			cols := make([][]int32, m)
+			for a := 0; a < m; a++ {
+				col, err := old.ReadPage(fullStripes, a, nil)
+				if err != nil {
+					return err
+				}
+				cols[a] = append([]int32(nil), col...)
+			}
+			row := make([]int32, m)
+			for t := 0; t < tailLen; t++ {
+				for a := 0; a < m; a++ {
+					row[a] = cols[a][t]
+				}
+				if err := w.writeRow(row); err != nil {
+					return err
+				}
+			}
+		}
+		for _, row := range rows {
+			if err := w.writeRow(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -9,9 +9,11 @@
 //	pages          stripe-major: for each stripe s (pageRows tuples),
 //	               for each attribute a: rows(s)×4 B little-endian
 //	               int32 value ids, then u32 CRC32-IEEE(page)
-//	tail           registration metadata, attribute names, per-attribute
-//	               NULL counts, and the per-attribute value index
-//	               (value → run-length-compressed tuple postings), all
+//	tail           registration metadata (including the stable dataset
+//	               id and append epoch), attribute names, per-attribute
+//	               NULL counts, the d dictionary strings in id order,
+//	               and the per-attribute value index (value →
+//	               run-length-compressed tuple postings), all
 //	               uvarint-encoded
 //	footer (24 B)  u64 tailOff | u64 tailLen | u32 CRC32-IEEE(tail) |
 //	               magic "SMCL"

@@ -10,7 +10,10 @@ var magic = [4]byte{'S', 'M', 'C', 'L'}
 
 // version is bumped on any incompatible format change; old versions are
 // rejected (the daemon re-registers from source) rather than guessed at.
-const version = 1
+// Version 2 added the stable dataset id, the append epoch, and the
+// dictionary strings to the tail, which is what lets appends against
+// paged datasets intern new rows without the original source.
+const version = 2
 
 const (
 	headerSize = 32

@@ -76,13 +76,15 @@ func Ingest(dir string, meta store.DatasetMeta, open func() (io.ReadCloser, erro
 	}
 	nullID := make([]int32, len(attrs))
 	valueAttr := make([]int, d)
+	valueStr := make([]string, d)
 	for a := range maps {
 		nullID[a] = -1
 		if id, ok := maps[a][relation.Null]; ok {
 			nullID[a] = id
 		}
-		for _, id := range maps[a] {
+		for s, id := range maps[a] {
 			valueAttr[id] = a
+			valueStr[id] = s
 		}
 	}
 
@@ -93,7 +95,7 @@ func Ingest(dir string, meta store.DatasetMeta, open func() (io.ReadCloser, erro
 	}
 	defer src.Close()
 	h := header{pageRows: opt.PageRows, m: len(attrs), n: n, d: d}
-	return writeFile(dir, meta, opt, h, meta.Name, attrs, nullID, valueAttr, func(w *writer) error {
+	return writeFile(dir, meta, opt, h, meta.Name, attrs, nullID, valueAttr, valueStr, func(w *writer) error {
 		row := make([]int32, len(attrs))
 		return relation.ScanCSV(src, lim, func(header []string) error {
 			if len(header) != len(attrs) {

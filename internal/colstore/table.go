@@ -43,6 +43,10 @@ type Table struct {
 
 	nullCounts []int
 	valueAttr  []int32
+	// dictOff is the offset within the tail of the dictionary-string
+	// section; the d strings stay on disk (ValueStrings decodes them on
+	// demand for appends) rather than resident.
+	dictOff int
 	// attrIndexOff[a] is the offset within the tail of attribute a's
 	// value-index section; VisitValues decodes it streaming from the
 	// mapped file rather than keeping postings resident.
@@ -137,6 +141,18 @@ func (t *Table) parseTail(tail []byte) error {
 		return err
 	}
 	t.meta.Bytes = int64(csvBytes)
+	read(&t.meta.ID)
+	if err != nil {
+		return err
+	}
+	epoch, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if epoch > 1<<31 {
+		return fmt.Errorf("%w: epoch %d out of range", ErrCorrupt, epoch)
+	}
+	t.meta.Epoch = int(epoch)
 	read(&t.relName)
 	t.attrs = make([]string, t.h.m)
 	for a := range t.attrs {
@@ -155,6 +171,15 @@ func (t *Table) parseTail(tail []byte) error {
 			return fmt.Errorf("%w: attribute %d: %d NULLs in %d tuples", ErrCorrupt, a, c, t.h.n)
 		}
 		t.nullCounts[a] = int(c)
+	}
+
+	// The dictionary strings are validated for bounds here but not
+	// retained; ValueStrings re-decodes them from the mapped tail.
+	t.dictOff = r.off
+	for i := 0; i < t.h.d; i++ {
+		if _, serr := r.string(); serr != nil {
+			return serr
+		}
 	}
 
 	t.valueAttr = make([]int32, t.h.d)
@@ -258,6 +283,25 @@ func (t *Table) Close() error {
 // Meta returns the registration metadata stored in the file, making
 // .col files self-describing for boot adoption.
 func (t *Table) Meta() store.DatasetMeta { return t.meta }
+
+// ValueStrings decodes the dictionary — value id → string — from the
+// mapped tail. The result is freshly allocated per call: appends need
+// the full dictionary once, but steady-state mining never does, so the
+// strings are not kept resident.
+func (t *Table) ValueStrings() ([]string, error) {
+	tail, err := t.mm.readAt(t.tailOff, int(t.tailLen))
+	if err != nil {
+		return nil, err
+	}
+	r := &tailReader{buf: tail, off: t.dictOff}
+	out := make([]string, t.h.d)
+	for i := range out {
+		if out[i], err = r.string(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
 
 // Path returns the file path the table was opened from.
 func (t *Table) Path() string { return t.path }

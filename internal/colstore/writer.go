@@ -65,7 +65,8 @@ type writer struct {
 	post      []posting
 	nullID    []int32 // per attribute, -1 when NULL never occurs
 	nullCount []int
-	valueAttr []int // value id → attribute index
+	valueAttr []int    // value id → attribute index
+	valueStr  []string // value id → dictionary string
 
 	scratch []byte
 }
@@ -172,12 +173,17 @@ func (w *writer) encodeTail() []byte {
 	appendString(w.meta.Name)
 	appendString(w.meta.Source)
 	buf = binary.AppendUvarint(buf, uint64(w.meta.Bytes))
+	appendString(w.meta.ID)
+	buf = binary.AppendUvarint(buf, uint64(w.meta.Epoch))
 	appendString(w.relName)
 	for _, a := range w.attrs {
 		appendString(a)
 	}
 	for _, c := range w.nullCount {
 		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	for _, s := range w.valueStr {
+		appendString(s)
 	}
 	// Per-attribute index sections. Ids of one attribute are ascending
 	// because interning order is global first-appearance order.
@@ -216,8 +222,10 @@ func WriteFromRelation(dir string, meta store.DatasetMeta, rel *relation.Relatio
 	h := header{pageRows: opt.PageRows, m: rel.M(), n: int64(rel.N()), d: rel.D()}
 	nullID := make([]int32, rel.M())
 	valueAttr := make([]int, rel.D())
+	valueStr := make([]string, rel.D())
 	for v := 0; v < rel.D(); v++ {
 		valueAttr[v] = rel.ValueAttr(int32(v))
+		valueStr[v] = rel.ValueString(int32(v))
 	}
 	for a := range nullID {
 		nullID[a] = -1
@@ -225,7 +233,7 @@ func WriteFromRelation(dir string, meta store.DatasetMeta, rel *relation.Relatio
 			nullID[a] = id
 		}
 	}
-	return writeFile(dir, meta, opt, h, rel.Name, rel.Attrs, nullID, valueAttr, func(w *writer) error {
+	return writeFile(dir, meta, opt, h, rel.Name, rel.Attrs, nullID, valueAttr, valueStr, func(w *writer) error {
 		for t := 0; t < rel.N(); t++ {
 			if err := w.writeRow(rel.Row(t)); err != nil {
 				return err
@@ -236,7 +244,7 @@ func WriteFromRelation(dir string, meta store.DatasetMeta, rel *relation.Relatio
 }
 
 // writeFile runs the temp→fsync→rename discipline around a writer body.
-func writeFile(dir string, meta store.DatasetMeta, opt WriteOptions, h header, relName string, attrs []string, nullID []int32, valueAttr []int, body func(*writer) error) (string, error) {
+func writeFile(dir string, meta store.DatasetMeta, opt WriteOptions, h header, relName string, attrs []string, nullID []int32, valueAttr []int, valueStr []string, body func(*writer) error) (string, error) {
 	if meta.Hash == "" || meta.Hash != filepath.Base(meta.Hash) {
 		return "", fmt.Errorf("colstore: invalid dataset hash %q", meta.Hash)
 	}
@@ -257,6 +265,7 @@ func writeFile(dir string, meta store.DatasetMeta, opt WriteOptions, h header, r
 		return fail(err)
 	}
 	w.valueAttr = valueAttr
+	w.valueStr = valueStr
 	if err := body(w); err != nil {
 		return fail(err)
 	}

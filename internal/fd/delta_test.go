@@ -1,0 +1,223 @@
+package fd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"structmine/internal/relation"
+)
+
+// deltaRel builds a relation with a few deliberately correlated columns
+// so non-trivial FDs exist, returning it plus its row tuples for
+// re-parsing.
+func deltaRel(t *testing.T, n int, seed int64) (*relation.Relation, [][]string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.WriteString("id,city,zip,grade\n")
+	rows := make([][]string, n)
+	for i := 0; i < n; i++ {
+		city := fmt.Sprintf("c%d", rng.Intn(8))
+		rows[i] = []string{
+			fmt.Sprintf("%d", i),
+			city,
+			"z-" + city, // city → zip by construction
+			fmt.Sprintf("g%d", rng.Intn(3)),
+		}
+		sb.WriteString(strings.Join(rows[i], ","))
+		sb.WriteByte('\n')
+	}
+	r, err := relation.ReadCSV("t", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, rows
+}
+
+func mustDiscover(t *testing.T, r *relation.Relation) []FD {
+	t.Helper()
+	fds, err := DiscoverCtx(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortFDs(fds)
+	return fds
+}
+
+// checkCSR validates a state's by-value CSR against the relation it
+// claims to cover.
+func checkCSR(t *testing.T, r *relation.Relation, s *MineState) {
+	t.Helper()
+	if s.N != r.N() || s.Attrs != r.M() || len(s.Offs)-1 != r.D() || len(s.Elems) != r.N()*r.M() {
+		t.Fatalf("CSR shape: N=%d Attrs=%d d=%d elems=%d vs relation %dx%d d=%d",
+			s.N, s.Attrs, len(s.Offs)-1, len(s.Elems), r.N(), r.M(), r.D())
+	}
+	want := make(map[int32][]int32)
+	for i := 0; i < r.N(); i++ {
+		for _, v := range r.Row(i) {
+			want[v] = append(want[v], int32(i))
+		}
+	}
+	for v := int32(0); int(v) < r.D(); v++ {
+		got := s.Elems[s.Offs[v]:s.Offs[v+1]]
+		if !reflect.DeepEqual(append([]int32{}, got...), append([]int32{}, want[v]...)) {
+			t.Fatalf("value %d class %v, want %v", v, got, want[v])
+		}
+	}
+}
+
+// TestPropDiscoverDeltaMatchesFull is the correctness property: for
+// random relations and appends — duplicates (fast path), FD-breaking
+// rows (fallback), fresh values, oversized batches — DiscoverDelta must
+// return exactly DiscoverCtx's minimal set over the extended relation,
+// and its extended CSR must match a scratch build.
+func TestPropDiscoverDeltaMatchesFull(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 6; seed++ {
+		base, baseRows := deltaRel(t, 120, seed)
+		st := NewMineState(base, mustDiscover(t, base))
+		checkCSR(t, base, st)
+
+		for _, tc := range []struct {
+			name      string
+			rows      [][]string
+			wantDelta bool
+		}{
+			{"dup-rows", [][]string{baseRows[3], baseRows[40], baseRows[7]}, true},
+			{"new-city-ok", [][]string{{"900", "newtown", "z-newtown", "g1"}}, true},
+			{"break-city-zip", [][]string{{"901", baseRows[0][1], "z-elsewhere", "g0"}}, false},
+			{"break-id-key", [][]string{{baseRows[5][0], "c1", "z-c1", "g2"}, {baseRows[5][0], "c2", "z-c2", "g0"}}, false},
+			{"oversized", append([][]string{}, baseRows[:60]...), false},
+		} {
+			t.Run(fmt.Sprintf("seed%d/%s", seed, tc.name), func(t *testing.T) {
+				ext, err := base.Extend(tc.rows)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, next, delta, err := DiscoverDelta(ctx, ext, st)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if delta != tc.wantDelta {
+					t.Fatalf("delta=%v, want %v", delta, tc.wantDelta)
+				}
+				want := mustDiscover(t, ext)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("FDs diverge from full discovery:\n got %v\nwant %v", got, want)
+				}
+				checkCSR(t, ext, next)
+				if !reflect.DeepEqual(next.FDs, want) {
+					t.Fatalf("state FDs not updated")
+				}
+			})
+		}
+	}
+}
+
+// TestBrokenByAppendBudget drives the recheck into its scan-budget
+// fallback: many appended duplicates of low-cardinality rows make the
+// summed class sizes exceed one full-relation pass, so the recheck must
+// hand the FD to Holds — and the result must still match full
+// discovery, with and without a violation in the batch.
+func TestBrokenByAppendBudget(t *testing.T) {
+	ctx := context.Background()
+	base, baseRows := deltaRel(t, 120, 2)
+	st := NewMineState(base, mustDiscover(t, base))
+
+	dups := make([][]string, 28)
+	for i := range dups {
+		dups[i] = baseRows[i%10]
+	}
+	for name, rows := range map[string][][]string{
+		"clean":  dups,
+		"broken": append(append([][]string{}, dups...), []string{"990", baseRows[0][1], "z-wrong", "g0"}),
+	} {
+		ext, err := base.Extend(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, next, _, err := DiscoverDelta(ctx, ext, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := mustDiscover(t, ext); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: FDs diverge from full discovery:\n got %v\nwant %v", name, got, want)
+		}
+		checkCSR(t, ext, next)
+	}
+}
+
+// TestDiscoverDeltaFallbacks pins the guard conditions that force a
+// full run: nil state, schema drift, and state rows exceeding the
+// relation.
+func TestDiscoverDeltaFallbacks(t *testing.T) {
+	ctx := context.Background()
+	r, _ := deltaRel(t, 50, 1)
+	want := mustDiscover(t, r)
+
+	for name, prev := range map[string]*MineState{
+		"nil-state":    nil,
+		"schema-drift": {N: 50, Attrs: 3, Offs: make([]int32, 4), Elems: make([]int32, 150)},
+		"shrunk":       {N: 80, Attrs: 4, Offs: make([]int32, 4), Elems: make([]int32, 320)},
+		"bad-elems":    {N: 50, Attrs: 4, Offs: make([]int32, 4), Elems: make([]int32, 7)},
+	} {
+		got, next, delta, err := DiscoverDelta(ctx, r, prev)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if delta {
+			t.Fatalf("%s: took delta path", name)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: wrong FDs", name)
+		}
+		checkCSR(t, r, next)
+	}
+
+	// Zero appended rows over a valid state is the trivial delta.
+	st := NewMineState(r, mustDiscover(t, r))
+	if _, _, delta, err := DiscoverDelta(ctx, r, st); err != nil || !delta {
+		t.Fatalf("no-op append: delta=%v err=%v", delta, err)
+	}
+}
+
+// TestStateCodecRoundtrip pins Encode/Decode identity and rejection of
+// corrupt bytes.
+func TestStateCodecRoundtrip(t *testing.T) {
+	r, _ := deltaRel(t, 90, 4)
+	st := NewMineState(r, mustDiscover(t, r))
+	enc := EncodeState(st)
+	dec, err := DecodeState(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, st) {
+		t.Fatalf("decoded state differs:\n got %+v\nwant %+v", dec, st)
+	}
+	// A decoded state must be usable for the next delta.
+	ext, err := r.Extend([][]string{{"500", "c0", "z-c0", "g0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := DiscoverDelta(context.Background(), ext, dec); err != nil {
+		t.Fatalf("DiscoverDelta on decoded state: %v", err)
+	}
+
+	for off := 0; off < len(enc); off += 5 {
+		mut := append([]byte(nil), enc...)
+		mut[off] ^= 0x40
+		if _, err := DecodeState(mut); !errors.Is(err, ErrCorruptState) {
+			t.Fatalf("flip at %d: err %v, want ErrCorruptState", off, err)
+		}
+	}
+	for n := 0; n < len(enc); n += 9 {
+		if _, err := DecodeState(enc[:n]); !errors.Is(err, ErrCorruptState) {
+			t.Fatalf("truncation to %d: err %v, want ErrCorruptState", n, err)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package it
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // log2 wraps math.Log2 with the 0·log 0 = 0 convention applied by callers.
 func log2(x float64) float64 { return math.Log2(x) }
@@ -76,6 +79,10 @@ func (j *JointDist) CondEntropyT() float64 {
 }
 
 // MarginalEntropyT returns H(T) of the T-marginal p(t) = Σ_x p(x) p(t|x).
+// The final sum runs in ascending coordinate order: iterating the
+// accumulator map directly would make the low float bits depend on Go's
+// randomized map order, and results derived from the same data must be
+// byte-for-byte reproducible across runs.
 func (j *JointDist) MarginalEntropyT() float64 {
 	marg := map[int32]float64{}
 	for i, px := range j.PX {
@@ -86,9 +93,14 @@ func (j *JointDist) MarginalEntropyT() float64 {
 			marg[e.Idx] += px * e.P
 		}
 	}
+	idxs := make([]int32, 0, len(marg))
+	for idx := range marg {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
 	h := 0.0
-	for _, p := range marg {
-		if p > 0 {
+	for _, idx := range idxs {
+		if p := marg[idx]; p > 0 {
 			h -= p * log2(p)
 		}
 	}

@@ -1,0 +1,19 @@
+package obs
+
+// Append and delta re-mining instrumentation. The counters advance in
+// the server's append path; the histogram times mine jobs that were
+// served by a delta path (absorbing only appended tuples) rather than a
+// from-scratch run.
+var (
+	// AppendRows counts tuples added through dataset appends.
+	AppendRows = Default.Counter("structmine_append_rows_total",
+		"Tuples appended to registered datasets.")
+	// AppendEpochs counts applied appends — each bumps its dataset's
+	// epoch. Crash-recovery replays are counted separately, on the
+	// store's structmine_store_append_replays_total.
+	AppendEpochs = Default.Counter("structmine_append_epochs_total",
+		"Dataset epoch bumps (appends applied over the API).")
+	// DeltaRemineSeconds times mine jobs answered by delta re-mining.
+	DeltaRemineSeconds = Default.Histogram("structmine_append_delta_remine_seconds",
+		"Duration of re-mine runs that took a delta path over persisted mine-state.", TimeBuckets)
+)

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"structmine/internal/colstore"
+	"structmine/internal/obs"
+	"structmine/internal/relation"
+	"structmine/internal/store"
+	"structmine/internal/task"
+)
+
+// Dataset appends. An append extends a registered dataset with more CSV
+// rows (same header shape) without re-uploading or re-parsing what is
+// already there. The dataset keeps its stable short id; its content
+// hash advances deterministically (appendHash) and its epoch increments,
+// so every derived artifact — cache entries, persisted mine-state — is
+// keyed to exactly one point in the lineage and can never leak across an
+// append boundary.
+//
+// Durability follows the store's intent-record protocol: the append
+// record (carrying the body and the identity transition) is written
+// BEFORE any dataset state changes and retired only after the new
+// snapshot or paged file is published and the old one removed. A crash
+// anywhere in between is replayed on restart — by store.Open for the
+// snapshot tier, and by Registry.RecoverAppends for the paged tier —
+// so appended rows are never lost and never applied twice.
+
+// appendHash advances a dataset's content hash across an append:
+// SHA-256 over the previous hash's hex bytes followed by the appended
+// body. It is deterministic in (old contents, body), so replaying the
+// same append after a crash converges on the same identity.
+func appendHash(oldHash string, body []byte) string {
+	h := sha256.New()
+	h.Write([]byte(oldHash))
+	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// AppendCSV appends CSV rows (a header line plus data rows, validated
+// under the same shape checks as registration) to the dataset with the
+// given id or hash, returning the post-append dataset. Appends are
+// serialized: each is a multi-step identity transition and interleaving
+// two would fork the lineage.
+func (g *Registry) AppendCSV(id string, body []byte) (*Dataset, error) {
+	g.appendMu.Lock()
+	defer g.appendMu.Unlock()
+
+	ds, ok := g.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, id)
+	}
+	newHash := appendHash(ds.Hash, body)
+	epoch := ds.Epoch + 1
+	newBytes := ds.Bytes + int64(len(body))
+
+	var next *Dataset
+	var rows int
+	var err error
+	if ds.rel != nil {
+		next, rows, err = g.appendResident(ds, body, newHash, epoch, newBytes)
+	} else {
+		next, rows, err = g.appendPaged(ds, body, newHash, epoch, newBytes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	obs.AppendRows.Add(uint64(rows))
+	obs.AppendEpochs.Inc()
+	return next, nil
+}
+
+// appendResident applies an append to an in-memory dataset: validate the
+// body against the resident relation, persist the transition (intent
+// record, new snapshot, old snapshot removal), then swap the registry
+// entry. The relation extension shares the existing rows — an append
+// costs the appended rows, not a copy of the dataset.
+func (g *Registry) appendResident(ds *Dataset, body []byte, newHash string, epoch int, newBytes int64) (*Dataset, int, error) {
+	// Validate before any durable state moves: a malformed body must be
+	// a clean 4xx with the dataset untouched.
+	rel2, rows, err := relation.AppendCSV(ds.rel, body, g.lim)
+	if err != nil {
+		return nil, 0, err
+	}
+	if g.budget > 0 && newBytes > g.budget && !g.pagedTier() {
+		return nil, 0, fmt.Errorf("%w (%d > %d bytes)", ErrAppendOverBudget, newBytes, g.budget)
+	}
+	if g.st != nil {
+		rec := store.AppendRecord{
+			ID: ds.ID, Name: ds.Name, Source: ds.Source,
+			OldHash: ds.Hash, NewHash: newHash, Epoch: epoch,
+			Bytes: newBytes, Rows: body,
+		}
+		if err := g.st.PutAppendRecord(rec); err != nil {
+			return nil, 0, fmt.Errorf("%w: %v", ErrStoreWrite, err)
+		}
+		meta := store.DatasetMeta{
+			Hash: newHash, Name: ds.Name, Source: ds.Source,
+			Bytes: newBytes, ID: ds.ID, Epoch: epoch,
+		}
+		if err := g.st.SaveDataset(meta, rel2); err != nil {
+			// The append did not happen: withdraw the intent so recovery
+			// does not replay it.
+			_ = g.st.RetireAppendRecord(newHash)
+			return nil, 0, fmt.Errorf("%w: %v", ErrStoreWrite, err)
+		}
+		_ = g.st.RemoveDataset(ds.Hash)
+		_ = g.st.RetireAppendRecord(newHash)
+	}
+	next := &Dataset{
+		ID: ds.ID, Name: ds.Name, Hash: newHash, Epoch: epoch,
+		Source: ds.Source, Bytes: newBytes, Storage: StorageResident,
+		Summary: task.Describe(rel2), rel: rel2, use: ds.use,
+	}
+	g.mu.Lock()
+	delete(g.byHash, ds.Hash)
+	g.byHash[newHash] = next
+	g.alias[ds.ID] = newHash
+	g.touch(next)
+	g.evictLocked()
+	out := g.byHash[newHash] // eviction may have paged the new entry out
+	g.mu.Unlock()
+	return out, rows, nil
+}
+
+// appendPaged applies an append to a colstore-backed dataset: the new
+// rows land in a new paged file as additional stripes (full stripes of
+// the old file are copied verbatim), the registry entry swaps to it, and
+// the old file is removed. The intent record is written first so a crash
+// at any point is replayed by RecoverAppends.
+func (g *Registry) appendPaged(ds *Dataset, body []byte, newHash string, epoch int, newBytes int64) (*Dataset, int, error) {
+	old, err := ds.table()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrStoreWrite, err)
+	}
+	dir, err := g.st.ColstoreDir()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrStoreWrite, err)
+	}
+	rec := store.AppendRecord{
+		ID: ds.ID, Name: ds.Name, Source: ds.Source,
+		OldHash: ds.Hash, NewHash: newHash, Epoch: epoch,
+		Bytes: newBytes, Rows: body,
+	}
+	if err := g.st.PutAppendRecord(rec); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrStoreWrite, err)
+	}
+	meta := store.DatasetMeta{
+		Hash: newHash, Name: ds.Name, Source: ds.Source,
+		Bytes: newBytes, ID: ds.ID, Epoch: epoch,
+	}
+	path, err := colstore.Append(dir, meta, old, body, g.lim, g.writeOpts())
+	if err != nil {
+		_ = g.st.RetireAppendRecord(newHash)
+		if errors.Is(err, relation.ErrShapeMismatch) {
+			return nil, 0, err // 4xx: body rejected, dataset untouched
+		}
+		return nil, 0, fmt.Errorf("%w: %v", ErrStoreWrite, err)
+	}
+	tbl, err := colstore.Open(path)
+	if err != nil {
+		g.st.Quarantine(path)
+		_ = g.st.RetireAppendRecord(newHash)
+		return nil, 0, fmt.Errorf("%w: %v", ErrStoreWrite, err)
+	}
+	summary, err := task.DescribeColumns(tbl)
+	if err != nil {
+		tbl.Close()
+		g.st.Quarantine(path)
+		_ = g.st.RetireAppendRecord(newHash)
+		return nil, 0, fmt.Errorf("%w: %v", ErrStoreWrite, err)
+	}
+	rows := tbl.N() - old.N()
+	next := &Dataset{
+		ID: ds.ID, Name: ds.Name, Hash: newHash, Epoch: epoch,
+		Source: ds.Source, Bytes: newBytes, Storage: StoragePaged,
+		Summary: summary, colPath: path, use: ds.use,
+		handle: &pagedHandle{table: tbl},
+	}
+	g.mu.Lock()
+	delete(g.byHash, ds.Hash)
+	g.byHash[newHash] = next
+	g.alias[ds.ID] = newHash
+	g.touch(next)
+	g.mu.Unlock()
+	// The new file is published and registered: the old one is garbage.
+	ds.handle.mu.Lock()
+	if ds.handle.table != nil {
+		ds.handle.table.Close()
+		ds.handle.table = nil
+	}
+	ds.handle.mu.Unlock()
+	os.Remove(ds.colPath)
+	_ = g.st.RetireAppendRecord(newHash)
+	return next, rows, nil
+}
+
+// RecoverAppends replays append intents that store.Open left pending —
+// those whose lineage has no snapshot, i.e. paged-tier appends. Call
+// after snapshot adoption and BEFORE RecoverColstore, so the directory
+// sweep only ever sees the settled side of each lineage. Every outcome
+// retires the record: either the new paged file exists (append landed
+// before the crash — finish the cleanup half), or the old one does
+// (re-apply the body), or neither (the lineage is gone; nothing to do).
+func (g *Registry) RecoverAppends() {
+	if g.st == nil {
+		return
+	}
+	dir, err := g.st.ColstoreDir()
+	if err != nil {
+		return
+	}
+	for _, rec := range g.st.AppendRecords() {
+		g.recoverPagedAppend(dir, rec)
+	}
+}
+
+// recoverPagedAppend settles one pending intent against the colstore
+// directory. Idempotent: a crash during recovery re-enters the same
+// protocol on the next boot.
+func (g *Registry) recoverPagedAppend(dir string, rec store.AppendRecord) {
+	oldPath := filepath.Join(dir, rec.OldHash+colstore.Ext)
+	newPath := filepath.Join(dir, rec.NewHash+colstore.Ext)
+	if tbl, err := colstore.Open(newPath); err == nil {
+		// Applied before the crash; finish the cleanup half.
+		tbl.Close()
+		os.Remove(oldPath)
+		_ = g.st.RetireAppendRecord(rec.NewHash)
+		return
+	}
+	old, err := colstore.Open(oldPath)
+	if err != nil {
+		// Neither side opens: the lineage is gone (or corrupt, in which
+		// case the sweep quarantines it). The intent cannot apply.
+		_ = g.st.RetireAppendRecord(rec.NewHash)
+		return
+	}
+	oldMeta := old.Meta()
+	meta := store.DatasetMeta{
+		Hash: rec.NewHash, Name: rec.Name, Source: rec.Source,
+		Bytes: rec.Bytes, ID: rec.ID, Epoch: rec.Epoch,
+	}
+	if meta.Name == "" {
+		meta.Name = oldMeta.Name
+	}
+	if meta.Source == "" {
+		meta.Source = oldMeta.Source
+	}
+	if meta.ID == "" {
+		meta.ID = oldMeta.ID
+	}
+	_, err = colstore.Append(dir, meta, old, rec.Rows, g.lim, g.writeOpts())
+	old.Close()
+	if err != nil {
+		// The body no longer applies (corrupt record, schema drift): keep
+		// the pre-append state rather than lose the dataset.
+		_ = g.st.RetireAppendRecord(rec.NewHash)
+		return
+	}
+	os.Remove(oldPath)
+	_ = g.st.RetireAppendRecord(rec.NewHash)
+}

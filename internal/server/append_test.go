@@ -1,0 +1,284 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"structmine/internal/store"
+)
+
+// appendCSVRows builds a deterministic CSV instance with an embedded FD
+// (city → zip) and enough value reuse that appends exercise both
+// existing and fresh dictionary entries.
+func appendCSVRows(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]string, n)
+	for i := 0; i < n; i++ {
+		city := fmt.Sprintf("c%d", rng.Intn(9))
+		rows[i] = fmt.Sprintf("%d,%s,z-%s,g%d", i, city, city, rng.Intn(4))
+	}
+	return rows
+}
+
+const appendHeader = "id,city,zip,grade"
+
+func csvOf(rows []string) []byte {
+	return []byte(appendHeader + "\n" + strings.Join(rows, "\n") + "\n")
+}
+
+// mineResult submits the task, waits, and returns the raw "result" JSON.
+func mineResult(t *testing.T, ts *httptest.Server, dsID, taskName string) json.RawMessage {
+	t.Helper()
+	var v JobView
+	code, body := doJSON(t, "POST", ts.URL+"/v1/jobs",
+		submitRequest{Dataset: dsID, Task: taskName}, &v)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit %s: %d %s", taskName, code, body)
+	}
+	if got := waitJob(t, ts, v.ID); got.State != StateDone {
+		t.Fatalf("%s: job state = %s (%s)", taskName, got.State, got.Error)
+	}
+	var res struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if code, body := doJSON(t, "GET", ts.URL+"/v1/jobs/"+v.ID+"/result", nil, &res); code != http.StatusOK {
+		t.Fatalf("result %s: %d %s", taskName, code, body)
+	}
+	return res.Result
+}
+
+// TestPropDeltaMatchesScratch is the append correctness bar: for a
+// sweep of append sizes on both storage tiers, every mining artifact
+// computed after register → mine → append → re-mine is byte-identical
+// to the artifact a fresh registration of the concatenated contents
+// produces. The first server mines before appending so the re-mine
+// genuinely consumes persisted mine-state (the delta path); the second
+// server never sees the lineage at all.
+func TestPropDeltaMatchesScratch(t *testing.T) {
+	const n = 200
+	sizes := []struct {
+		name string
+		k    int
+	}{
+		{"one", 1}, {"seven", 7}, {"tenpct", n / 10}, {"halfpct", n / 2},
+	}
+	tiers := []struct {
+		name  string
+		paged bool
+	}{
+		{"resident", false}, {"paged", true},
+	}
+	base := appendCSVRows(n, 11)
+	for _, tier := range tiers {
+		for _, size := range sizes {
+			t.Run(tier.name+"/"+size.name, func(t *testing.T) {
+				extra := make([]string, size.k)
+				rng := rand.New(rand.NewSource(int64(size.k)))
+				for i := range extra {
+					city := fmt.Sprintf("c%d", rng.Intn(9))
+					extra[i] = fmt.Sprintf("%d,%s,z-%s,g%d", n+i, city, city, rng.Intn(4))
+				}
+				body := csvOf(extra)
+
+				cfg := func(dir string) Config {
+					c := Config{Workers: 1, Store: openStore(t, dir)}
+					if tier.paged {
+						c.ResidentBytes = 1 // force everything out of core
+					}
+					return c
+				}
+				tasks := []string{"mine-fds", "rank-fds"}
+				if !tier.paged {
+					tasks = append(tasks, "partition")
+				}
+
+				// Lineage server: register, mine (seeds state), append, re-mine.
+				_, ts1 := newTestServer(t, cfg(t.TempDir()))
+				var ds Dataset
+				if code, b := doJSON(t, "POST", ts1.URL+"/v1/datasets?name=lin", csvOf(base), &ds); code != http.StatusCreated {
+					t.Fatalf("register: %d %s", code, b)
+				}
+				for _, task := range tasks {
+					mineResult(t, ts1, ds.ID, task)
+				}
+				var after Dataset
+				if code, b := doJSON(t, "POST", ts1.URL+"/v1/datasets/"+ds.ID+"/append", body, &after); code != http.StatusOK {
+					t.Fatalf("append: %d %s", code, b)
+				}
+				if after.Epoch != 1 || after.ID != ds.ID || after.Hash == ds.Hash {
+					t.Fatalf("append identity: epoch=%d id=%s hash-same=%v", after.Epoch, after.ID, after.Hash == ds.Hash)
+				}
+
+				// Scratch server: one registration of the concatenated contents.
+				_, ts2 := newTestServer(t, cfg(t.TempDir()))
+				var fresh Dataset
+				concat := csvOf(append(append([]string{}, base...), extra...))
+				if code, b := doJSON(t, "POST", ts2.URL+"/v1/datasets?name=scratch", concat, &fresh); code != http.StatusCreated {
+					t.Fatalf("register concat: %d %s", code, b)
+				}
+
+				for _, task := range tasks {
+					got := mineResult(t, ts1, ds.ID, task)
+					want := mineResult(t, ts2, fresh.ID, task)
+					if !bytes.Equal(got, want) {
+						t.Errorf("%s artifact diverges after append:\n got %s\nwant %s", task, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAppendEpochInvalidatesCache pins the cache behavior around an
+// append: the post-append resubmission is a miss (re-mined), while the
+// pre-append artifact stays addressable.
+func TestAppendEpochInvalidatesCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	var ds Dataset
+	if code, b := doJSON(t, "POST", ts.URL+"/v1/datasets?name=ep", csvOf(appendCSVRows(60, 3)), &ds); code != http.StatusCreated {
+		t.Fatalf("register: %d %s", code, b)
+	}
+	mineResult(t, ts, ds.ID, "mine-fds")
+	missesBefore := s.CacheStats().Misses
+
+	if code, b := doJSON(t, "POST", ts.URL+"/v1/datasets/"+ds.ID+"/append",
+		csvOf([]string{"900,c1,z-c1,g0"}), nil); code != http.StatusOK {
+		t.Fatalf("append: %d %s", code, b)
+	}
+	var v JobView
+	if code, b := doJSON(t, "POST", ts.URL+"/v1/jobs",
+		submitRequest{Dataset: ds.ID, Task: "mine-fds"}, &v); code != http.StatusAccepted {
+		t.Fatalf("resubmit after append should miss the cache: %d %s", code, b)
+	}
+	if v.CacheHit {
+		t.Fatal("post-append job must not be a cache hit")
+	}
+	waitJob(t, ts, v.ID)
+	if got := s.CacheStats().Misses; got <= missesBefore {
+		t.Fatalf("cache misses did not advance across the append: %d -> %d", missesBefore, got)
+	}
+}
+
+// TestAppendCrashRecovery simulates a crash in the append window on
+// both tiers: the intent record is durably written but the process dies
+// before the new state is published. The restarted server must apply
+// the append exactly once; a second restart must not double-apply it.
+func TestAppendCrashRecovery(t *testing.T) {
+	for _, tier := range []struct {
+		name  string
+		paged bool
+	}{{"resident", false}, {"paged", true}} {
+		t.Run(tier.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := Config{Workers: 1, Store: openStore(t, dir)}
+			if tier.paged {
+				cfg.ResidentBytes = 1
+			}
+			s1 := New(cfg)
+			ts1 := httptest.NewServer(s1.Handler())
+			base := appendCSVRows(80, 9)
+			var ds Dataset
+			if code, b := doJSON(t, "POST", ts1.URL+"/v1/datasets?name=crash", csvOf(base), &ds); code != http.StatusCreated {
+				t.Fatalf("register: %d %s", code, b)
+			}
+			ts1.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := s1.Shutdown(ctx); err != nil {
+				t.Fatal(err)
+			}
+
+			// Crash window: the record exists, nothing else moved.
+			extra := []string{"800,c2,z-c2,g1", "801,c5,z-c5,g3"}
+			body := csvOf(extra)
+			newHash := appendHash(ds.Hash, body)
+			if err := cfg.Store.PutAppendRecord(store.AppendRecord{
+				ID: ds.ID, Name: ds.Name, Source: ds.Source,
+				OldHash: ds.Hash, NewHash: newHash, Epoch: ds.Epoch + 1,
+				Bytes: ds.Bytes + int64(len(body)), Rows: body,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := cfg.Store.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			assertRecovered := func(life int) {
+				t.Helper()
+				cfg2 := cfg
+				cfg2.Store = openStore(t, dir)
+				s := New(cfg2)
+				ts := httptest.NewServer(s.Handler())
+				var got Dataset
+				if code, b := doJSON(t, "GET", ts.URL+"/v1/datasets/"+ds.ID, nil, &got); code != http.StatusOK {
+					t.Fatalf("life %d: get: %d %s", life, code, b)
+				}
+				if got.Epoch != ds.Epoch+1 || got.Hash != newHash {
+					t.Fatalf("life %d: epoch=%d hash=%s, want epoch=%d hash=%s",
+						life, got.Epoch, got.Hash, ds.Epoch+1, newHash)
+				}
+				if got.Summary == nil || got.Summary.Tuples != 80+len(extra) {
+					t.Fatalf("life %d: tuples=%v, want %d (appended rows lost or doubled)",
+						life, got.Summary, 80+len(extra))
+				}
+				ts.Close()
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				if err := s.Shutdown(ctx); err != nil {
+					t.Fatal(err)
+				}
+				if err := cfg2.Store.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			assertRecovered(1) // replay applies the append exactly once
+			assertRecovered(2) // a second restart must not re-apply it
+		})
+	}
+}
+
+// TestAppendContracts pins the append endpoint's error envelopes and
+// the /v1-only policy for post-versioning routes.
+func TestAppendContracts(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, ResidentBytes: 256})
+
+	do := func(name, method, path string, body any, wantStatus int) {
+		t.Helper()
+		code, raw := doJSON(t, method, ts.URL+path, body, nil)
+		if code != wantStatus {
+			t.Fatalf("%s: %s %s = %d, want %d (%s)", name, method, path, code, wantStatus, raw)
+		}
+		checkGolden(t, name, raw)
+	}
+
+	var ds Dataset
+	if code, b := doJSON(t, "POST", ts.URL+"/v1/datasets?name=toy", []byte(contractCSV), &ds); code != http.StatusCreated {
+		t.Fatalf("register: %d %s", code, b)
+	}
+
+	do("append_ok.json", "POST", "/v1/datasets/"+ds.ID+"/append",
+		[]byte("EmpNo,Name,Dept,City\n5,Ada,Eng,Boston\n"), http.StatusOK)
+	do("err_append_not_found.json", "POST", "/v1/datasets/nope/append",
+		[]byte(contractCSV), http.StatusNotFound)
+	do("err_append_shape.json", "POST", "/v1/datasets/"+ds.ID+"/append",
+		[]byte("A,B\n1,2\n"), http.StatusBadRequest)
+	// 170 bytes of rows on a 256-byte budget with no store: over budget.
+	over := "EmpNo,Name,Dept,City\n" + strings.Repeat("6,Pam,Ops,Denver\n", 10)
+	do("err_append_over_budget.json", "POST", "/v1/datasets/"+ds.ID+"/append",
+		[]byte(over), http.StatusInsufficientStorage)
+
+	// Post-versioning routes exist under /v1 only: the bare path is 404,
+	// not a deprecated alias.
+	if code, _ := doJSON(t, "POST", ts.URL+"/datasets/"+ds.ID+"/append",
+		[]byte("EmpNo,Name,Dept,City\n7,Kim,Eng,Oslo\n"), nil); code != http.StatusNotFound {
+		t.Fatalf("bare /datasets/{id}/append = %d, want 404 (/v1-only policy)", code)
+	}
+}

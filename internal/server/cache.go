@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"encoding/json"
+	"fmt"
 	"sync"
 
 	"structmine/internal/store"
@@ -44,8 +45,17 @@ func NewCache(max int) *Cache {
 	return &Cache{m: map[string]*list.Element{}, lru: list.New(), max: max}
 }
 
-// Key builds the canonical artifact address for one query.
-func Key(datasetHash, taskName string, p task.Params) string {
+// Key builds the canonical artifact address for one query. The epoch
+// disambiguates the states of an appended-to dataset: because the
+// content hash already advances on every append the epoch is strictly
+// redundant, but keying on it too makes a cross-epoch cache hit
+// structurally impossible rather than merely hash-collision-improbable.
+// Epoch 0 renders without the suffix so artifacts persisted by earlier
+// builds keep their addresses.
+func Key(datasetHash string, epoch int, taskName string, p task.Params) string {
+	if epoch > 0 {
+		return fmt.Sprintf("%s@%d|%s", datasetHash, epoch, p.CacheKey(taskName))
+	}
 	return datasetHash + "|" + p.CacheKey(taskName)
 }
 

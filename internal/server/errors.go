@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"structmine/internal/relation"
 )
 
 // Typed submission and registration errors. Handlers map them to HTTP
@@ -44,6 +46,8 @@ const (
 	CodeDraining        = "draining"
 	CodePathForbidden   = "path_forbidden"
 	CodeStoreWrite      = "store_write_failed"
+	CodeShapeMismatch   = "shape_mismatch"
+	CodeOverBudget      = "over_budget"
 )
 
 // apiError is the wire shape of one error.
@@ -87,6 +91,10 @@ func errStatus(err error) (int, string) {
 		return http.StatusTooManyRequests, CodeDatasetLimit
 	case errors.Is(err, ErrStoreWrite):
 		return http.StatusInsufficientStorage, CodeStoreWrite
+	case errors.Is(err, ErrAppendOverBudget):
+		return http.StatusInsufficientStorage, CodeOverBudget
+	case errors.Is(err, relation.ErrShapeMismatch):
+		return http.StatusBadRequest, CodeShapeMismatch
 	case errors.Is(err, ErrPathRegistrationDisabled):
 		return http.StatusForbidden, CodePathForbidden
 	default:

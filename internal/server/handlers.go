@@ -43,6 +43,8 @@ func (s *Server) routes() {
 	api("POST", "/datasets", s.handleRegisterDataset)
 	api("GET", "/datasets", s.handleListDatasets)
 	api("GET", "/datasets/{id}", s.handleGetDataset)
+	// Post-versioning endpoint: /v1 only, no deprecated bare alias.
+	handle("POST /v1/datasets/{id}/append", s.handleAppendDataset)
 	api("POST", "/jobs", s.handleSubmitJob)
 	api("GET", "/jobs", s.handleListJobs)
 	api("GET", "/jobs/{id}", s.handleGetJob)
@@ -144,6 +146,37 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusCreated
 	}
 	writeJSON(w, code, ds)
+}
+
+// handleAppendDataset serves POST /v1/datasets/{id}/append: the raw CSV
+// body (header line plus rows, same shape as the dataset) is appended,
+// the dataset's hash advances and its epoch increments, and the
+// post-append dataset is returned.
+func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request) {
+	if s.jobs.Draining() {
+		writeErrFor(w, ErrDraining)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxUploadBytes+1))
+	if err != nil {
+		writeAPIErr(w, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxUploadBytes {
+		writeAPIErr(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+			"append exceeds %d bytes", s.cfg.MaxUploadBytes)
+		return
+	}
+	if len(body) == 0 {
+		writeAPIErr(w, http.StatusBadRequest, CodeBadRequest, "empty CSV body")
+		return
+	}
+	ds, err := s.reg.AppendCSV(r.PathValue("id"), body)
+	if err != nil {
+		writeErrFor(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ds)
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {

@@ -49,6 +49,7 @@ type Job struct {
 	task      string
 	params    task.Params
 	key       string // artifact-cache key
+	epoch     int    // dataset epoch pinned at Submit (keys the mine-state)
 
 	// Exactly one of rel/cols is set for executable jobs, pinned at
 	// Submit so a dataset evicted to the paged tier mid-queue still runs
@@ -265,8 +266,8 @@ func (q *Runner) Submit(datasetID, taskName string, p task.Params) (JobView, err
 	job := &Job{
 		id: fmt.Sprintf("job-%06d", q.seq), datasetID: ds.ID, dataset: ds,
 		rel: rel, cols: cols,
-		task: taskName, params: p,
-		key: Key(ds.Hash, taskName, p), state: StateQueued,
+		task: taskName, params: p, epoch: ds.Epoch,
+		key: Key(ds.Hash, ds.Epoch, taskName, p), state: StateQueued,
 		trace:     obs.TraceReport{Stages: []obs.StageTiming{}},
 		submitted: time.Now(),
 		ctx:       ctx, cancel: cancel, done: make(chan struct{}),
@@ -329,6 +330,30 @@ func (q *Runner) worker() {
 	}
 }
 
+// datasetStateStore adapts the durable mine-state files to the
+// task.StateStore interface for one (dataset, epoch) pair. Loads reject
+// state from a NEWER epoch than the job's pin: an append that lands
+// while the job waits in the queue must not feed the job state computed
+// over rows it is not mining. Older-epoch state is fine — that is
+// exactly the delta-resume case.
+type datasetStateStore struct {
+	st    *store.Store
+	id    string
+	epoch int
+}
+
+func (s datasetStateStore) LoadState(kind string) ([]byte, bool) {
+	data, ep, ok := s.st.GetMineState(s.id, kind)
+	if !ok || ep > s.epoch {
+		return nil, false
+	}
+	return data, true
+}
+
+func (s datasetStateStore) SaveState(kind string, data []byte) {
+	_ = s.st.PutMineState(s.id, kind, s.epoch, data) // best-effort cache
+}
+
 func (q *Runner) run(job *Job) {
 	q.mu.Lock()
 	if job.state != StateQueued { // canceled while waiting in the queue
@@ -361,7 +386,20 @@ func (q *Runner) run(job *Job) {
 	if job.cols != nil {
 		res, err = task.RunColumns(obs.WithTrace(ctx, tr), job.cols, job.task, job.params)
 	} else {
-		res, err = task.Run(obs.WithTrace(ctx, tr), job.rel, job.task, job.params)
+		// Resident jobs run through the state-aware runner: with a store
+		// attached they persist mine-state per (dataset, epoch) and, after
+		// an append, absorb only the appended tuples instead of re-mining
+		// from scratch. The result is identical either way.
+		var ss task.StateStore
+		if q.st != nil && job.dataset != nil {
+			ss = datasetStateStore{st: q.st, id: job.datasetID, epoch: job.epoch}
+		}
+		start := time.Now()
+		var delta bool
+		res, delta, err = task.RunWithState(obs.WithTrace(ctx, tr), job.rel, job.task, job.params, ss)
+		if delta && err == nil {
+			obs.DeltaRemineSeconds.Observe(time.Since(start).Seconds())
+		}
 	}
 	tr.Finish()
 	g.Release()

@@ -29,6 +29,12 @@ var ErrDatasetLimit = errors.New("server: dataset limit reached")
 var ErrPagedNeedsStore = errors.New(
 	"server: dataset exceeds the resident budget and the paged tier needs -persist")
 
+// ErrAppendOverBudget reports an append that would grow a resident
+// dataset past the resident-bytes budget on a server without a paged
+// tier to spill it to.
+var ErrAppendOverBudget = errors.New(
+	"server: append exceeds the resident budget and the paged tier needs -persist")
+
 // Storage classes of a registered dataset.
 const (
 	// StorageResident marks a dataset whose parsed relation is held in
@@ -47,14 +53,21 @@ const (
 // registry entry with a new value rather than mutating the old one, so
 // handlers may marshal the pointers they hold without locking.
 type Dataset struct {
-	// ID is the short display address: a prefix of Hash, extended just
-	// far enough to be unambiguous among registered datasets.
+	// ID is the short display address: a prefix of the registration
+	// hash, extended just far enough to be unambiguous among registered
+	// datasets. Unlike Hash it is stable across appends — it is the
+	// handle clients keep.
 	ID   string `json:"id"`
 	Name string `json:"name"`
-	// Hash is the full SHA-256 of the CSV bytes — the dataset's true
-	// identity. It keys the registry, prefixes every cache key, and is
-	// itself accepted anywhere an id is.
+	// Hash identifies the dataset's current contents: the full SHA-256
+	// of the CSV bytes at registration, advanced deterministically by
+	// every append (appendHash). It keys the registry, prefixes every
+	// cache key, and is itself accepted anywhere an id is.
 	Hash string `json:"hash"`
+	// Epoch counts applied appends; (Hash, Epoch) changes together, so
+	// artifacts and mining state can never leak across append
+	// boundaries.
+	Epoch int `json:"epoch"`
 	// Source records where the data came from ("upload" or a file path).
 	Source string `json:"source"`
 	// Bytes is the size of the registered CSV source — the residency
@@ -99,6 +112,15 @@ func (d *Dataset) Columns() (relation.Columns, error) {
 	if d.rel != nil {
 		return relation.AsColumns(d.rel), nil
 	}
+	t, err := d.table()
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// table returns the paged dataset's colstore handle, opening it lazily.
+func (d *Dataset) table() (*colstore.Table, error) {
 	d.handle.mu.Lock()
 	defer d.handle.mu.Unlock()
 	if d.handle.table == nil {
@@ -135,6 +157,11 @@ type Registry struct {
 	// server re-adopts it without re-parsing the CSV. It also hosts the
 	// colstore directory of the paged tier.
 	st *store.Store
+
+	// appendMu serializes appends: each one is a multi-step identity
+	// transition (intent record, new artifact, old-state removal), and
+	// interleaving two would fork the lineage.
+	appendMu sync.Mutex
 }
 
 // shortIDLen is the initial alias length: 12 hex digits of SHA-256.
@@ -163,6 +190,19 @@ func (g *Registry) assignIDLocked(hash string) string {
 		}
 	}
 	return hash
+}
+
+// claimIDLocked returns the dataset's stable id: the preferred one
+// (recovered from a snapshot or colstore tail) when it is well-formed
+// and not claimed by a different lineage, else a fresh hash prefix.
+// The caller holds g.mu.
+func (g *Registry) claimIDLocked(preferred, hash string) string {
+	if preferred != "" && preferred == filepath.Base(preferred) {
+		if prior, ok := g.alias[preferred]; !ok || prior == hash {
+			return preferred
+		}
+	}
+	return g.assignIDLocked(hash)
 }
 
 // pagedTier reports whether the colstore tier is available: it needs
@@ -229,7 +269,10 @@ func (g *Registry) RegisterCSV(name, source string, data []byte) (ds *Dataset, c
 	// registration fails outright, so the server never carries datasets a
 	// restart would silently forget.
 	if g.st != nil {
-		meta := store.DatasetMeta{Hash: hash, Name: name, Source: source, Bytes: int64(len(data))}
+		meta := store.DatasetMeta{
+			Hash: hash, Name: name, Source: source,
+			Bytes: int64(len(data)), ID: ds.ID,
+		}
 		if err := g.st.SaveDataset(meta, rel); err != nil {
 			return nil, false, fmt.Errorf("%w: %v", ErrStoreWrite, err)
 		}
@@ -253,7 +296,10 @@ func (g *Registry) registerPaged(name, source, hash string, data []byte) (*Datas
 		return nil, false, fmt.Errorf("%w: %v", ErrStoreWrite, err)
 	}
 	path := filepath.Join(dir, hash+colstore.Ext)
-	meta := store.DatasetMeta{Hash: hash, Name: name, Source: source, Bytes: int64(len(data))}
+	meta := store.DatasetMeta{
+		Hash: hash, Name: name, Source: source,
+		Bytes: int64(len(data)), ID: hash[:shortIDLen],
+	}
 	if _, err := os.Stat(path); err != nil {
 		open := func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(data)), nil }
 		if _, err := colstore.Ingest(dir, meta, open, g.lim, g.writeOpts()); err != nil {
@@ -286,7 +332,7 @@ func (g *Registry) registerPaged(name, source, hash string, data []byte) (*Datas
 		return nil, false, fmt.Errorf("%w (%d resident)", ErrDatasetLimit, len(g.byHash))
 	}
 	ds := &Dataset{
-		ID: g.assignIDLocked(hash), Name: name, Hash: hash, Source: source,
+		ID: g.claimIDLocked(meta.ID, hash), Name: name, Hash: hash, Source: source,
 		Bytes: meta.Bytes, Storage: StoragePaged, Summary: summary,
 		colPath: path, use: &atomic.Int64{}, handle: &pagedHandle{table: tbl},
 	}
@@ -325,15 +371,18 @@ func (g *Registry) evictLocked() {
 		}
 		path := filepath.Join(dir, victim.Hash+colstore.Ext)
 		if _, err := os.Stat(path); err != nil {
-			meta := store.DatasetMeta{Hash: victim.Hash, Name: victim.Name, Source: victim.Source, Bytes: victim.Bytes}
+			meta := store.DatasetMeta{
+				Hash: victim.Hash, Name: victim.Name, Source: victim.Source,
+				Bytes: victim.Bytes, ID: victim.ID, Epoch: victim.Epoch,
+			}
 			if _, err := colstore.WriteFromRelation(dir, meta, victim.rel, g.writeOpts()); err != nil {
 				return
 			}
 		}
 		paged := &Dataset{
-			ID: victim.ID, Name: victim.Name, Hash: victim.Hash, Source: victim.Source,
-			Bytes: victim.Bytes, Storage: StoragePaged, Summary: victim.Summary,
-			colPath: path, use: victim.use, handle: &pagedHandle{},
+			ID: victim.ID, Name: victim.Name, Hash: victim.Hash, Epoch: victim.Epoch,
+			Source: victim.Source, Bytes: victim.Bytes, Storage: StoragePaged,
+			Summary: victim.Summary, colPath: path, use: victim.use, handle: &pagedHandle{},
 		}
 		g.byHash[victim.Hash] = paged
 	}
@@ -357,9 +406,9 @@ func (g *Registry) Adopt(meta store.DatasetMeta, rel *relation.Relation) *Datase
 		return nil
 	}
 	ds := &Dataset{
-		ID: g.assignIDLocked(meta.Hash), Name: meta.Name, Hash: meta.Hash,
-		Source: meta.Source, Bytes: meta.Bytes, Storage: StorageResident,
-		Summary: summary, rel: rel, use: &atomic.Int64{},
+		ID: g.claimIDLocked(meta.ID, meta.Hash), Name: meta.Name, Hash: meta.Hash,
+		Epoch: meta.Epoch, Source: meta.Source, Bytes: meta.Bytes,
+		Storage: StorageResident, Summary: summary, rel: rel, use: &atomic.Int64{},
 	}
 	g.byHash[meta.Hash] = ds
 	g.alias[ds.ID] = meta.Hash
@@ -429,10 +478,10 @@ func (g *Registry) RecoverColstore() {
 			continue
 		}
 		ds := &Dataset{
-			ID: g.assignIDLocked(hash), Name: meta.Name, Hash: hash,
-			Source: meta.Source, Bytes: meta.Bytes, Storage: StoragePaged,
-			Summary: summary, colPath: path, use: &atomic.Int64{},
-			handle: &pagedHandle{table: tbl},
+			ID: g.claimIDLocked(meta.ID, hash), Name: meta.Name, Hash: hash,
+			Epoch: meta.Epoch, Source: meta.Source, Bytes: meta.Bytes,
+			Storage: StoragePaged, Summary: summary, colPath: path,
+			use: &atomic.Int64{}, handle: &pagedHandle{table: tbl},
 		}
 		g.byHash[hash] = ds
 		g.alias[ds.ID] = hash

@@ -158,6 +158,9 @@ func New(cfg Config) *Server {
 		for _, ld := range cfg.Store.Datasets() {
 			s.reg.Adopt(ld.Meta, ld.Rel)
 		}
+		// Settle paged-tier append intents before sweeping the colstore
+		// directory, so the sweep only ever sees one side of a torn append.
+		s.reg.RecoverAppends()
 		s.reg.RecoverColstore()
 		s.jobs.Preload(cfg.Store.Jobs())
 	}
@@ -249,6 +252,12 @@ func (s *Server) registerStoreMetrics(st *store.Store) {
 		{"structmine_store_quarantined_total",
 			"Corrupt or foreign files moved to quarantine.",
 			func(t store.Stats) float64 { return float64(t.Quarantined) }},
+		{"structmine_store_append_record_writes_total",
+			"Append intent records written durably.",
+			func(t store.Stats) float64 { return float64(t.AppendRecordWrites) }},
+		{"structmine_store_append_replays_total",
+			"Append intents replayed against the snapshot tier at the last boot.",
+			func(t store.Stats) float64 { return float64(t.AppendReplays) }},
 	}
 	for _, c := range counters {
 		read := c.read

@@ -1,0 +1,242 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"structmine/internal/relation"
+)
+
+const apBase = "A,B\n1,x\n2,y\n3,x\n"
+const apTail = "A,B\n4,z\n2,y\n"
+
+func apRelation(t *testing.T, csv string) *relation.Relation {
+	t.Helper()
+	rel, err := relation.ReadCSV("ds", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+// seedAppend stages a dataset snapshot plus an append intent record in
+// dir, returning the record. Pass stage to control which side(s) of the
+// append exist on disk: "old", "new", "both", or "none".
+func seedAppend(t *testing.T, dir, stage string) AppendRecord {
+	t.Helper()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := AppendRecord{
+		ID: "stable-id", Name: "ds", Source: "upload",
+		OldHash: "aaaa", NewHash: "bbbb", Epoch: 1,
+		Bytes: int64(len(apBase) + len(apTail)), Rows: []byte(apTail),
+	}
+	old := apRelation(t, apBase)
+	if stage == "old" || stage == "both" {
+		meta := DatasetMeta{Hash: rec.OldHash, Name: "ds", Source: "upload", Bytes: int64(len(apBase)), ID: rec.ID}
+		if err := s.SaveDataset(meta, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stage == "new" || stage == "both" {
+		applied, _, err := relation.AppendCSV(old, rec.Rows, relation.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := DatasetMeta{Hash: rec.NewHash, Name: "ds", Source: "upload", Bytes: rec.Bytes, ID: rec.ID, Epoch: rec.Epoch}
+		if err := s.SaveDataset(meta, applied); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.PutAppendRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestAppendReplayCrashWindows drives boot recovery through every crash
+// window of the append protocol and checks the invariant the smoke test
+// asserts end-to-end: rows are neither lost nor applied twice.
+func TestAppendReplayCrashWindows(t *testing.T) {
+	for _, stage := range []string{"old", "both", "new"} {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			rec := seedAppend(t, dir, stage)
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			ds := s.Datasets()
+			if len(ds) != 1 {
+				t.Fatalf("recovered %d datasets, want 1", len(ds))
+			}
+			got := ds[0]
+			if got.Meta.Hash != rec.NewHash || got.Meta.Epoch != 1 || got.Meta.ID != "stable-id" {
+				t.Fatalf("recovered meta %+v, want new hash/epoch/id", got.Meta)
+			}
+			if got.Rel.N() != 5 { // 3 base + 2 appended, exactly once
+				t.Fatalf("recovered %d rows, want 5", got.Rel.N())
+			}
+			want := apRelation(t, apBase+"4,z\n2,y\n")
+			for tt := 0; tt < want.N(); tt++ {
+				for a := 0; a < want.M(); a++ {
+					if got.Rel.Value(tt, a) != want.Value(tt, a) {
+						t.Fatalf("row %d attr %d: id %d, want %d", tt, a, got.Rel.Value(tt, a), want.Value(tt, a))
+					}
+				}
+			}
+			if len(s.AppendRecords()) != 0 {
+				t.Fatalf("record not retired: %v", s.AppendRecords())
+			}
+			if _, err := os.Stat(filepath.Join(dir, "appends", rec.NewHash+appendExt)); !os.IsNotExist(err) {
+				t.Fatalf("record file still present (err=%v)", err)
+			}
+			if _, err := os.Stat(filepath.Join(dir, "datasets", rec.OldHash+snapshotExt)); !os.IsNotExist(err) {
+				t.Fatal("old snapshot still present")
+			}
+			// Recovery must be idempotent: a second boot changes nothing.
+			s.Close()
+			s2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if len(s2.Datasets()) != 1 || s2.Datasets()[0].Rel.N() != 5 {
+				t.Fatal("second recovery drifted")
+			}
+		})
+	}
+}
+
+// TestAppendReplayLeavesPagedRecords checks that an intent with no
+// snapshot on either side (a paged-tier append) is surfaced to the
+// server instead of being applied or dropped.
+func TestAppendReplayLeavesPagedRecords(t *testing.T) {
+	dir := t.TempDir()
+	rec := seedAppend(t, dir, "none")
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	pending := s.AppendRecords()
+	if len(pending) != 1 || pending[0].NewHash != rec.NewHash || string(pending[0].Rows) != apTail {
+		t.Fatalf("pending = %+v, want the paged record", pending)
+	}
+}
+
+// TestAppendReplayQuarantinesBadRecords: a record whose body cannot
+// apply to its resident lineage (schema drift) must be quarantined, and
+// the pre-append snapshot kept.
+func TestAppendReplayQuarantinesBadRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := DatasetMeta{Hash: "aaaa", Name: "ds", ID: "stable-id"}
+	if err := s.SaveDataset(meta, apRelation(t, apBase)); err != nil {
+		t.Fatal(err)
+	}
+	rec := AppendRecord{ID: "stable-id", OldHash: "aaaa", NewHash: "cccc", Epoch: 1, Rows: []byte("X,Y,Z\n1,2,3\n")}
+	if err := s.PutAppendRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ds := s2.Datasets()
+	if len(ds) != 1 || ds[0].Meta.Hash != "aaaa" || ds[0].Rel.N() != 3 {
+		t.Fatalf("pre-append snapshot not preserved: %+v", ds)
+	}
+	if len(s2.AppendRecords()) != 0 {
+		t.Fatal("bad record not quarantined")
+	}
+	if s2.Stats().Quarantined == 0 {
+		t.Fatal("quarantine counter did not advance")
+	}
+}
+
+// TestAppendRecordFailedWriteLeavesNoIntent: if the intent itself cannot
+// be durably written, no record may be left behind to replay later.
+func TestAppendRecordFailedWriteLeavesNoIntent(t *testing.T) {
+	ffs := newFaultFS()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ffs.setWriteBudget(4)
+	rec := AppendRecord{ID: "x", OldHash: "aaaa", NewHash: "dddd", Epoch: 1, Rows: []byte(apTail)}
+	if err := s.PutAppendRecord(rec); err == nil {
+		t.Fatal("append record write succeeded under a 4-byte budget")
+	}
+	ffs.setWriteBudget(-1)
+	s.Close()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(s2.AppendRecords()) != 0 {
+		t.Fatal("torn intent survived recovery")
+	}
+}
+
+func TestMineStateRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, ok := s.GetMineState("ds1", "fds"); ok {
+		t.Fatal("missing state reported ok")
+	}
+	blob := []byte{1, 2, 3, 250, 251}
+	if err := s.PutMineState("ds1", "fds", 3, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, epoch, ok := s.GetMineState("ds1", "fds")
+	if !ok || epoch != 3 || string(got) != string(blob) {
+		t.Fatalf("roundtrip: ok=%v epoch=%d blob=%v", ok, epoch, got)
+	}
+	// Overwrite with a newer epoch wins.
+	if err := s.PutMineState("ds1", "fds", 4, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if got, epoch, ok = s.GetMineState("ds1", "fds"); !ok || epoch != 4 || len(got) != 1 {
+		t.Fatalf("overwrite: ok=%v epoch=%d blob=%v", ok, epoch, got)
+	}
+	// Corruption is detected, the file dropped, and scratch signaled.
+	path := filepath.Join(dir, "minestate", "ds1.fds.ms")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.GetMineState("ds1", "fds"); ok {
+		t.Fatal("corrupt state reported ok")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt state file not dropped")
+	}
+	if err := s.PutMineState("bad/key", "fds", 1, blob); err == nil {
+		t.Fatal("path-escaping dataset id accepted")
+	}
+}

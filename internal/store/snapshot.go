@@ -25,10 +25,12 @@ import (
 
 var snapshotMagic = [4]byte{'S', 'M', 'S', 'N'}
 
-// snapshotVersion is bumped on any incompatible format change; old
+// snapshotVersion is bumped on any incompatible format change. Version
+// 2 added the stable dataset id and the append epoch after the source
+// size; version 1 snapshots still decode (id empty, epoch zero), newer
 // versions are rejected (the daemon re-registers from source) rather
 // than guessed at.
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // ErrCorruptSnapshot reports a snapshot that failed its checksum or
 // structural validation; the store quarantines such files on load.
@@ -44,8 +46,16 @@ type DatasetMeta struct {
 	Name string
 	// Source records where the data came from ("upload" or a path).
 	Source string
-	// Bytes is the size of the original CSV source.
+	// Bytes is the size of the original CSV source plus every appended
+	// body.
 	Bytes int64
+	// ID is the dataset's stable short id, assigned at first
+	// registration and kept across appends even though Hash changes.
+	// Empty in version-1 snapshots.
+	ID string
+	// Epoch counts applied appends: (Hash, Epoch) is the dataset's
+	// cache identity. Zero for freshly registered content.
+	Epoch int
 }
 
 func appendString(buf []byte, s string) []byte {
@@ -67,6 +77,8 @@ func encodeSnapshot(meta DatasetMeta, rel *relation.Relation) []byte {
 	buf = appendString(buf, meta.Name)
 	buf = appendString(buf, meta.Source)
 	buf = binary.AppendUvarint(buf, uint64(meta.Bytes))
+	buf = appendString(buf, meta.ID)
+	buf = binary.AppendUvarint(buf, uint64(meta.Epoch))
 	buf = appendString(buf, raw.Name)
 	buf = binary.AppendUvarint(buf, uint64(m))
 	for _, a := range raw.Attrs {
@@ -140,8 +152,9 @@ func decodeSnapshot(data []byte) (DatasetMeta, *relation.Relation, error) {
 	if got, want := binary.LittleEndian.Uint32(tail), crc32.ChecksumIEEE(body); got != want {
 		return meta, nil, fmt.Errorf("%w: CRC32 %08x, computed %08x", ErrCorruptSnapshot, got, want)
 	}
-	if v := binary.LittleEndian.Uint16(data[4:6]); v != snapshotVersion {
-		return meta, nil, fmt.Errorf("%w: version %d, this build reads %d", ErrCorruptSnapshot, v, snapshotVersion)
+	version := binary.LittleEndian.Uint16(data[4:6])
+	if version < 1 || version > snapshotVersion {
+		return meta, nil, fmt.Errorf("%w: version %d, this build reads 1..%d", ErrCorruptSnapshot, version, snapshotVersion)
 	}
 
 	r := &snapReader{buf: body, off: 6}
@@ -162,6 +175,17 @@ func decodeSnapshot(data []byte) (DatasetMeta, *relation.Relation, error) {
 		return meta, nil, fmt.Errorf("%w: bad source size", errOr(err, ErrCorruptSnapshot))
 	}
 	meta.Bytes = int64(csvBytes)
+	if version >= 2 {
+		read(&meta.ID)
+		if err != nil {
+			return meta, nil, err
+		}
+		epoch, eerr := r.uvarint()
+		if eerr != nil || epoch > math.MaxInt32 {
+			return meta, nil, fmt.Errorf("%w: bad epoch", errOr(eerr, ErrCorruptSnapshot))
+		}
+		meta.Epoch = int(epoch)
+	}
 
 	var raw relation.Raw
 	read(&raw.Name)

@@ -79,8 +79,11 @@ type Store struct {
 	artifactsDir  string
 	quarantineDir string
 	jobsDir       string
+	appendsDir    string
+	minestateDir  string
 
-	datasets []LoadedDataset // recovered at Open, consumed by the server
+	datasets       []LoadedDataset // recovered at Open, consumed by the server
+	pendingAppends []AppendRecord  // paged-tier intents left for the server
 
 	amu        sync.Mutex
 	artifacts  map[string]*artifactEntry
@@ -103,10 +106,14 @@ type Store struct {
 	journalAppends     atomic.Uint64
 	journalAppendErr   atomic.Uint64
 	quarantined        atomic.Uint64
+	appendRecordWrites atomic.Uint64
+	minestateWrites    atomic.Uint64
+	minestateWriteErr  atomic.Uint64
 	recoveredDatasets  int
 	recoveredArtifacts int
 	recoveredJobs      int
 	droppedJobRecords  int
+	appendReplays      int
 }
 
 // LoadedDataset is one dataset recovered from a snapshot at Open.
@@ -130,14 +137,22 @@ func Open(dir string, opts Options) (*Store, error) {
 		artifactsDir:  filepath.Join(dir, "artifacts"),
 		quarantineDir: filepath.Join(dir, "quarantine"),
 		jobsDir:       filepath.Join(dir, "jobs"),
+		appendsDir:    filepath.Join(dir, "appends"),
+		minestateDir:  filepath.Join(dir, "minestate"),
 		artifacts:     map[string]*artifactEntry{},
 		maxEntries:    opts.ArtifactMaxEntries,
 		maxBytes:      opts.ArtifactMaxBytes,
 	}
-	for _, d := range []string{s.datasetsDir, s.artifactsDir, s.quarantineDir, s.jobsDir} {
+	for _, d := range []string{s.datasetsDir, s.artifactsDir, s.quarantineDir, s.jobsDir, s.appendsDir, s.minestateDir} {
 		if err := s.fsys.MkdirAll(d); err != nil {
 			return nil, fmt.Errorf("store: creating %s: %w", d, err)
 		}
+	}
+	if names, err := s.fsys.ReadDir(s.minestateDir); err == nil {
+		s.sweepTemps(s.minestateDir, names)
+	}
+	if err := s.recoverAppends(); err != nil {
+		return nil, err
 	}
 	if err := s.recoverDatasets(); err != nil {
 		return nil, err
@@ -281,10 +296,14 @@ type Stats struct {
 	JournalAppendErr   uint64
 	JournalRecords     int
 	Quarantined        uint64
+	AppendRecordWrites uint64
+	MinestateWrites    uint64
+	MinestateWriteErr  uint64
 	RecoveredDatasets  int
 	RecoveredArtifacts int
 	RecoveredJobs      int
 	DroppedJobRecords  int
+	AppendReplays      int
 }
 
 // Stats returns the current counters and gauges.
@@ -307,9 +326,13 @@ func (s *Store) Stats() Stats {
 		JournalAppendErr:   s.journalAppendErr.Load(),
 		JournalRecords:     journalLen,
 		Quarantined:        s.quarantined.Load(),
+		AppendRecordWrites: s.appendRecordWrites.Load(),
+		MinestateWrites:    s.minestateWrites.Load(),
+		MinestateWriteErr:  s.minestateWriteErr.Load(),
 		RecoveredDatasets:  s.recoveredDatasets,
 		RecoveredArtifacts: s.recoveredArtifacts,
 		RecoveredJobs:      s.recoveredJobs,
 		DroppedJobRecords:  s.droppedJobRecords,
+		AppendReplays:      s.appendReplays,
 	}
 }

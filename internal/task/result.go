@@ -384,6 +384,13 @@ func rankPipeline(ctx context.Context, r *relation.Relation, psi float64) (*Rank
 	if err != nil {
 		return nil, nil, err
 	}
+	return rankPipelineFrom(ctx, r, psi, fds)
+}
+
+// rankPipelineFrom is the FD-RANK pipeline after dependency mining,
+// shared between the scratch path above and the delta path in state.go,
+// which supplies the fds from incremental discovery.
+func rankPipelineFrom(ctx context.Context, r *relation.Relation, psi float64, fds []fd.FD) (*RankFDsResult, []fdrank.Ranked, error) {
 	cover := fd.MinCover(fds)
 	if err := step(ctx, "value clustering"); err != nil {
 		return nil, nil, err

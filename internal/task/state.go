@@ -1,0 +1,125 @@
+package task
+
+import (
+	"context"
+
+	"structmine/internal/fd"
+	"structmine/internal/limbo"
+	"structmine/internal/relation"
+	"structmine/internal/tuples"
+)
+
+// State kinds: the incremental-mining artifacts a StateStore keeps per
+// dataset epoch.
+const (
+	// StateFDs is an fd.MineState encoding (EncodeState).
+	StateFDs = "fds"
+	// StateTree is a Phase 1 partition tree encoding (limbo.EncodeTree).
+	StateTree = "tree"
+)
+
+// StateStore loads and saves per-dataset incremental mining state. Load
+// must return ok=false for anything unusable (missing, stale epoch,
+// corrupt) — the runner then mines from scratch and overwrites it. Save
+// failures are the store's problem to record; runners treat state
+// persistence as best-effort because the mined result never depends on
+// it.
+type StateStore interface {
+	LoadState(kind string) ([]byte, bool)
+	SaveState(kind string, data []byte)
+}
+
+// RunWithState is Run plus incremental re-mining: for the tasks with
+// delta support (mine-fds, rank-fds, partition) it consumes the
+// dataset's persisted mining state and re-mines only what an append
+// could have changed, falling back to — and indistinguishable from — a
+// scratch run whenever the state is missing or unusable. The returned
+// result is identical to Run's in content either way; delta reports
+// whether the cheap path was actually taken. A nil ss degrades to
+// scratch runs that still work (state is simply not kept).
+func RunWithState(ctx context.Context, r *relation.Relation, taskName string, p Params, ss StateStore) (res any, delta bool, err error) {
+	p = p.Normalize(taskName)
+	switch taskName {
+	case "mine-fds":
+		return runMineFDsState(ctx, r, ss)
+	case "rank-fds":
+		fds, delta, err := minedFDsState(ctx, r, ss)
+		if err != nil {
+			return nil, false, err
+		}
+		res, _, err := rankPipelineFrom(ctx, r, fv(p.Psi), fds)
+		return res, delta, err
+	case "partition":
+		return runPartitionState(ctx, r, p, ss)
+	}
+	res, err = Run(ctx, r, taskName, p)
+	return res, false, err
+}
+
+// minedFDsState discovers the minimal FD set via the delta path,
+// refreshing the persisted state on the way out.
+func minedFDsState(ctx context.Context, r *relation.Relation, ss StateStore) ([]fd.FD, bool, error) {
+	if err := step(ctx, "dependency mining"); err != nil {
+		return nil, false, err
+	}
+	var prev *fd.MineState
+	if ss != nil {
+		if data, ok := ss.LoadState(StateFDs); ok {
+			prev, _ = fd.DecodeState(data) // nil on corruption: scratch run
+		}
+	}
+	fds, st, delta, err := fd.DiscoverDelta(ctx, r, prev)
+	if err != nil {
+		return nil, false, err
+	}
+	if ss != nil {
+		ss.SaveState(StateFDs, fd.EncodeState(st))
+	}
+	return fds, delta, nil
+}
+
+func runMineFDsState(ctx context.Context, r *relation.Relation, ss StateStore) (*FDsResult, bool, error) {
+	fds, delta, err := minedFDsState(ctx, r, ss)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := step(ctx, "minimum cover"); err != nil {
+		return nil, false, err
+	}
+	res := &FDsResult{NumMinimal: len(fds), Cover: []FDItem{}}
+	for _, f := range fd.MinCover(fds) {
+		res.Cover = append(res.Cover, newFDItem(r, f))
+	}
+	return res, delta, nil
+}
+
+func runPartitionState(ctx context.Context, r *relation.Relation, p Params, ss StateStore) (*PartitionResult, bool, error) {
+	if err := step(ctx, "partitioning"); err != nil {
+		return nil, false, err
+	}
+	var tree *limbo.Tree
+	delta := false
+	if ss != nil {
+		if data, ok := ss.LoadState(StateTree); ok {
+			if resumed, err := tuples.ExtendPartitionTreeCtx(ctx, r, data); err == nil {
+				tree, delta = resumed, true
+			}
+		}
+	}
+	if tree == nil {
+		tree = tuples.PartitionTreeCtx(ctx, r, defaultMaxLeaves, defaultB)
+	}
+	if ss != nil {
+		ss.SaveState(StateTree, limbo.EncodeTree(tree))
+	}
+	pr := tuples.PartitionFromTree(ctx, r, tree, p.K)
+	res := &PartitionResult{K: pr.K, InfoLossFrac: pr.InfoLossFrac}
+	for _, cluster := range pr.Clusters {
+		g := PartitionGroup{Size: len(cluster), Tuples: cluster}
+		if len(cluster) > 0 {
+			g.Sample = r.TupleStrings(cluster[0])
+		}
+		res.Partitions = append(res.Partitions, g)
+	}
+	return res, delta, nil
+}

@@ -1,0 +1,110 @@
+package task
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"structmine/internal/relation"
+)
+
+type memStateStore map[string][]byte
+
+func (m memStateStore) LoadState(kind string) ([]byte, bool) {
+	data, ok := m[kind]
+	return data, ok
+}
+
+func (m memStateStore) SaveState(kind string, data []byte) { m[kind] = data }
+
+func stateRel(t *testing.T, n int, seed int64) *relation.Relation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.WriteString("id,city,zip,grade\n")
+	for i := 0; i < n; i++ {
+		city := fmt.Sprintf("c%d", rng.Intn(7))
+		fmt.Fprintf(&sb, "%d,%s,z-%s,g%d\n", i, city, city, rng.Intn(3))
+	}
+	r, err := relation.ReadCSV("t", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRunWithStateDeltaMatchesScratch pins the contract the append path
+// depends on: for every state-aware task, a scratch run seeds the state,
+// and a delta run over the appended relation returns JSON identical to a
+// stateless scratch run on the same final relation.
+func TestRunWithStateDeltaMatchesScratch(t *testing.T) {
+	ctx := context.Background()
+	base := stateRel(t, 150, 5)
+	ext, err := base.Extend([][]string{
+		{"900", "c1", "z-c1", "g0"},
+		{"901", "c3", "z-c3", "g2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mine-fds", "rank-fds", "partition"} {
+		t.Run(name, func(t *testing.T) {
+			ss := memStateStore{}
+			if _, delta, err := RunWithState(ctx, base, name, Params{}, ss); err != nil || delta {
+				t.Fatalf("seed run: delta=%v err=%v", delta, err)
+			}
+			if len(ss) == 0 {
+				t.Fatal("seed run saved no state")
+			}
+			got, delta, err := RunWithState(ctx, ext, name, Params{}, ss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !delta {
+				t.Fatal("append run did not take the delta path")
+			}
+			want, _, err := RunWithState(ctx, ext, name, Params{}, memStateStore{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gj, _ := json.Marshal(got)
+			wj, _ := json.Marshal(want)
+			if string(gj) != string(wj) {
+				t.Fatalf("delta result diverges from scratch:\n got %s\nwant %s", gj, wj)
+			}
+		})
+	}
+}
+
+// TestRunWithStateFallbacks: a nil store and a non-state task both
+// behave like Run.
+func TestRunWithStateFallbacks(t *testing.T) {
+	ctx := context.Background()
+	r := stateRel(t, 60, 2)
+	if _, delta, err := RunWithState(ctx, r, "mine-fds", Params{}, nil); err != nil || delta {
+		t.Fatalf("nil store: delta=%v err=%v", delta, err)
+	}
+	got, delta, err := RunWithState(ctx, r, "describe", Params{}, memStateStore{})
+	if err != nil || delta {
+		t.Fatalf("describe: delta=%v err=%v", delta, err)
+	}
+	want, err := Run(ctx, r, "describe", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, _ := json.Marshal(got)
+	wj, _ := json.Marshal(want)
+	if string(gj) != string(wj) {
+		t.Fatalf("describe result drifted: %s vs %s", gj, wj)
+	}
+	// Corrupt state must degrade to a scratch run, not an error.
+	ss := memStateStore{StateFDs: []byte("garbage"), StateTree: []byte("junk")}
+	for _, name := range []string{"mine-fds", "partition"} {
+		if _, delta, err := RunWithState(ctx, r, name, Params{}, ss); err != nil || delta {
+			t.Fatalf("%s corrupt state: delta=%v err=%v", name, delta, err)
+		}
+	}
+}

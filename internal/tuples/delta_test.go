@@ -1,0 +1,83 @@
+package tuples
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"structmine/internal/limbo"
+	"structmine/internal/relation"
+)
+
+func randomCSVRel(t *testing.T, n int, seed int64) *relation.Relation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.WriteString("a,b,c\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "v%d,w%d,u%d\n", rng.Intn(6), rng.Intn(4), rng.Intn(5))
+	}
+	r, err := relation.ReadCSV("t", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestPartitionDeltaMatchesScratch is the cluster-side delta property:
+// persisting the Phase 1 tree at a prefix, then resuming it over the
+// appended rows, must yield a PartitionResult deeply equal to building
+// the whole pipeline from scratch on the final relation — tree bytes
+// included, since those are what the next append resumes from.
+func TestPartitionDeltaMatchesScratch(t *testing.T) {
+	ctx := context.Background()
+	full := randomCSVRel(t, 260, 17)
+	for _, cut := range []int{259, 200, 130} {
+		t.Run(fmt.Sprintf("cut-%d", cut), func(t *testing.T) {
+			prefix := full.Select(seq(cut))
+			prefTree := PartitionTreeCtx(ctx, prefix, 40, 4)
+			resumed, err := ExtendPartitionTreeCtx(ctx, full, limbo.EncodeTree(prefTree))
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch := PartitionTreeCtx(ctx, full, 40, 4)
+			if !reflect.DeepEqual(limbo.EncodeTree(resumed), limbo.EncodeTree(scratch)) {
+				t.Fatal("resumed tree bytes diverge from scratch build")
+			}
+			got := PartitionFromTree(ctx, full, resumed, 0)
+			want := PartitionFromTree(ctx, full, scratch, 0)
+			if got.K != want.K || !reflect.DeepEqual(got.Assign, want.Assign) ||
+				!reflect.DeepEqual(got.Clusters, want.Clusters) ||
+				got.InfoLossFrac != want.InfoLossFrac {
+				t.Fatalf("delta partition diverges from scratch:\n got K=%d loss=%v\nwant K=%d loss=%v",
+					got.K, got.InfoLossFrac, want.K, want.InfoLossFrac)
+			}
+		})
+	}
+}
+
+// TestExtendPartitionTreeRejects pins the rebuild triggers: corrupt
+// bytes and trees that claim more rows than the relation holds.
+func TestExtendPartitionTreeRejects(t *testing.T) {
+	ctx := context.Background()
+	r := randomCSVRel(t, 50, 3)
+	enc := limbo.EncodeTree(PartitionTreeCtx(ctx, r, 20, 4))
+	if _, err := ExtendPartitionTreeCtx(ctx, r, enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated tree accepted")
+	}
+	small := r.Select(seq(10))
+	if _, err := ExtendPartitionTreeCtx(ctx, small, enc); err == nil {
+		t.Fatal("tree covering 50 rows accepted for 10-row relation")
+	}
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

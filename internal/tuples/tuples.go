@@ -7,6 +7,7 @@ package tuples
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"structmine/internal/ib"
@@ -154,9 +155,71 @@ func Partition(r *relation.Relation, maxLeaves, b, k int) *PartitionResult {
 // pool; the same retention caveat as FindDuplicatesCtx applies to the
 // returned leaves.
 func PartitionCtx(ctx context.Context, r *relation.Relation, maxLeaves, b, k int) *PartitionResult {
+	return PartitionFromTree(ctx, r, PartitionTreeCtx(ctx, r, maxLeaves, b), k)
+}
+
+// unitObjects builds the Phase 1 insertion objects for rows [from, n)
+// with unit mass instead of 1/n. Unit weights make the tree independent
+// of the eventual row count, which is what lets an append resume a
+// persisted tree: the objects inserted for the suffix are exactly the
+// ones a from-scratch pass over the extended relation would have
+// inserted at those positions. Leaf-bounded splitting is count-based,
+// so the tree shape is scale-invariant; masses are normalized to 1/n
+// when the leaves are handed to Phase 2.
+func unitObjects(r *relation.Relation, from int) []limbo.Obj {
+	n := r.N()
+	objs := make([]limbo.Obj, 0, n-from)
+	for t := from; t < n; t++ {
+		objs = append(objs, limbo.Obj{ID: int32(t), W: 1, Cond: it.Uniform(r.Row(t))})
+	}
+	return objs
+}
+
+// PartitionTreeCtx builds the Phase 1 tree for horizontal partitioning
+// from scratch: leaf-bounded, over unit-weight tuple objects. Persist
+// it with limbo.EncodeTree and resume it after an append with
+// ExtendPartitionTreeCtx.
+func PartitionTreeCtx(ctx context.Context, r *relation.Relation, maxLeaves, b int) *limbo.Tree {
+	tree := limbo.NewTreeCtx(ctx, limbo.Config{B: b, MaxLeafEntries: maxLeaves})
+	for _, o := range unitObjects(r, 0) {
+		tree.Insert(o)
+	}
+	return tree
+}
+
+// ExtendPartitionTreeCtx decodes a persisted partition tree and absorbs
+// the rows it has not yet seen ([tree.Inserted(), r.N())). Because
+// decode+insert is bit-identical to an uninterrupted build, the result
+// — and everything Phase 2/3 derives from it — matches
+// PartitionTreeCtx over the full relation exactly. Errors (corrupt
+// bytes, a tree claiming more rows than the relation has) mean the
+// caller should rebuild from scratch.
+func ExtendPartitionTreeCtx(ctx context.Context, r *relation.Relation, data []byte) (*limbo.Tree, error) {
+	tree, err := limbo.DecodeTree(ctx, data)
+	if err != nil {
+		return nil, err
+	}
+	if tree.Inserted() > r.N() {
+		return nil, fmt.Errorf("partition tree covers %d rows, relation has %d", tree.Inserted(), r.N())
+	}
+	for _, o := range unitObjects(r, tree.Inserted()) {
+		tree.Insert(o)
+	}
+	return tree, nil
+}
+
+// PartitionFromTree runs Phases 2 and 3 over an already-built (or
+// resumed) Phase 1 tree. The unit-mass leaves are rescaled to tuple
+// probabilities p(t) = 1/n before AIB so the information curve keeps
+// the paper's normalization.
+func PartitionFromTree(ctx context.Context, r *relation.Relation, tree *limbo.Tree, k int) *PartitionResult {
 	objs := Objects(r)
-	tree := limbo.BuildTreeMaxLeavesCtx(ctx, objs, maxLeaves, b)
-	leaves := tree.Leaves()
+	n := float64(r.N())
+	raw := tree.Leaves()
+	leaves := make([]*limbo.DCF, len(raw))
+	for i, d := range raw {
+		leaves[i] = limbo.Scaled(d, 1/n)
+	}
 	res := limbo.Phase2Ctx(ctx, leaves, 1)
 	curve := res.InfoCurve()
 

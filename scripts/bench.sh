@@ -7,11 +7,14 @@
 # overrides the -cpu list (default "1,4"): each benchmark runs once per
 # GOMAXPROCS value and every JSON entry records its own "cpus", so the
 # multi-core scaling of the parallel kernels is measured, not assumed.
+# BENCH_PATTERN overrides the benchmark selection regex entirely, so a
+# focused CI leg (e.g. the incremental append gate) can run one
+# benchmark family without paying for the full suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_1.json}
-pattern='^(BenchmarkAIBInit|BenchmarkAgglomerate|BenchmarkMicroAIB|BenchmarkMicroEntropy|BenchmarkMicroJS|BenchmarkMicroDeltaISmallVsLarge|BenchmarkMicroDCFTreeInsert|BenchmarkDCFTreeInsert|BenchmarkTANE|BenchmarkColstoreScan)$'
+pattern=${BENCH_PATTERN:-'^(BenchmarkAIBInit|BenchmarkAgglomerate|BenchmarkMicroAIB|BenchmarkMicroEntropy|BenchmarkMicroJS|BenchmarkMicroDeltaISmallVsLarge|BenchmarkMicroDCFTreeInsert|BenchmarkDCFTreeInsert|BenchmarkTANE|BenchmarkColstoreScan|BenchmarkAppendRemine)$'}
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT

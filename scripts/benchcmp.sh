@@ -8,6 +8,16 @@
 #
 #   scripts/benchcmp.sh BASELINE.json CURRENT.json
 #
+# Ratio mode gates one benchmark against another inside a single run:
+#
+#   scripts/benchcmp.sh --ratio RUN.json SLOW_NAME FAST_NAME MIN_RATIO
+#
+# For every cpus width at which both benchmarks appear, it asserts
+# ns(SLOW) / ns(FAST) >= MIN_RATIO and exits nonzero otherwise. CI uses
+# this to prove delta re-mining stays delta-cost: the full-rediscovery
+# benchmark must run at least MIN_RATIO times longer than the delta
+# path, on the same runner in the same run, so runner noise cancels out.
+#
 # A regression beyond WARN_PCT (default 10) prints a warning; beyond
 # FAIL_PCT (default 50) the script exits nonzero. Speed-ups and
 # benchmarks present in only one file are reported but never fail.
@@ -23,6 +33,45 @@ set -euo pipefail
 if ! command -v jq >/dev/null 2>&1; then
   echo "benchcmp: FAIL — required tool 'jq' is not installed" >&2
   exit 1
+fi
+
+if [ "${1:-}" = --ratio ]; then
+  if [ $# -ne 5 ]; then
+    echo "usage: scripts/benchcmp.sh --ratio RUN.json SLOW_NAME FAST_NAME MIN_RATIO" >&2
+    exit 2
+  fi
+  run=$2 slow=$3 fast=$4 min=$5
+  [ -f "$run" ] || { echo "benchcmp: FAIL — no such file: $run" >&2; exit 2; }
+  jq -e '.benchmarks | type == "array"' "$run" >/dev/null \
+    || { echo "benchcmp: FAIL — $run is not a bench.sh JSON file" >&2; exit 2; }
+
+  fail=0 seen=0
+  while IFS=$'\t' read -r cpus s f; do
+    seen=1
+    ratio=$(awk -v s="$s" -v f="$f" 'BEGIN { printf "%.2f", s / f }')
+    if awk -v r="$ratio" -v m="$min" 'BEGIN { exit !(r >= m) }'; then
+      verdict=ok
+    else
+      verdict=FAIL; fail=1
+    fi
+    printf 'benchcmp: %-5s %s/%s @ %scpu: %s / %s = %sx (need >= %sx)\n' \
+      "$verdict" "$slow" "$fast" "$cpus" "$s" "$f" "$ratio" "$min"
+  done < <(jq -r --arg slow "$slow" --arg fast "$fast" '
+    ( [.benchmarks[] | select(.name == $slow) | {(.cpus // 1 | tostring): .ns_per_op}] | add // {} ) as $s
+    | ( [.benchmarks[] | select(.name == $fast) | {(.cpus // 1 | tostring): .ns_per_op}] | add // {} ) as $f
+    | $s | keys[] | select($f[.] != null)
+    | [., ($s[.] | tostring), ($f[.] | tostring)] | @tsv' "$run")
+
+  if [ "$seen" -eq 0 ]; then
+    echo "benchcmp: FAIL — $run has no cpus width with both '$slow' and '$fast'" >&2
+    exit 1
+  fi
+  if [ "$fail" -ne 0 ]; then
+    echo "benchcmp: FAIL — '$fast' is not at least ${min}x cheaper than '$slow'" >&2
+    exit 1
+  fi
+  echo "benchcmp: PASS (ratio >= ${min}x at every measured width)"
+  exit 0
 fi
 
 if [ $# -ne 2 ]; then

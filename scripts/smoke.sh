@@ -7,8 +7,13 @@
 # crash-recovery phase: SIGKILL the daemon (no drain, no warning), boot
 # a successor over the same -persist directory, and assert it recovers
 # the dataset, the old job record, and the artifact — the repeated query
-# must be a cache hit without re-mining. Finishes with a SIGTERM to
-# check graceful drain.
+# must be a cache hit without re-mining. The incremental append phase
+# then drives POST /v1/datasets/{id}/append: epoch bump, cache miss on
+# re-mine, delta artifact equal to a from-scratch mine of the
+# concatenated contents, and a simulated crash inside the append window
+# that must replay to exactly one application. Finishes with a SIGTERM
+# to check graceful drain, then repeats the core flow on the paged
+# (out-of-core) tier.
 #
 # On failure the daemon log is copied to $SMOKE_ARTIFACT_DIR (when set),
 # so CI can upload it as an artifact.
@@ -164,6 +169,109 @@ recov=$(curl -sS "$base/v1/healthz" | jq .store.recovered_datasets)
 curl -sS "$base/v1/metrics" | grep '^structmine_store_recovered_datasets 1' >/dev/null \
   || { echo "smoke: FAIL — store recovery gauge missing from /v1/metrics"; exit 1; }
 echo "smoke: recovery counters exposed on /v1/healthz and /v1/metrics"
+
+# --- incremental append phase ---------------------------------------------
+# Append rows over POST /v1/datasets/{id}/append: the id must stay
+# stable while the hash advances and the epoch bumps, the re-mine must
+# be a cache MISS whose artifact matches a fresh registration of the
+# concatenated contents, and a SIGKILL inside the append window — the
+# durable intent record exists but the new state was never published —
+# must replay to exactly one application on restart.
+echo "smoke: appending 3 rows to dataset $ds"
+before=$(curl -sS "$base/v1/datasets/$ds")
+hash0=$(echo "$before" | jq -r .hash)
+tuples0=$(echo "$before" | jq .summary.tuples)
+head -n1 "$workdir/db2sample.csv" > "$workdir/append.csv"
+tail -n3 "$workdir/db2sample.csv" >> "$workdir/append.csv"
+
+after=$(curl -sS -X POST --data-binary @"$workdir/append.csv" \
+  -H 'Content-Type: text/csv' "$base/v1/datasets/$ds/append")
+aep=$(echo "$after" | jq .epoch)
+ahash=$(echo "$after" | jq -r .hash)
+atuples=$(echo "$after" | jq .summary.tuples)
+if [ "$aep" != 1 ] || [ "$ahash" = "$hash0" ] || [ "$atuples" != $((tuples0 + 3)) ]; then
+  echo "smoke: FAIL — append identity (epoch=$aep hash-advanced=$([ "$ahash" != "$hash0" ] && echo yes || echo no) tuples=$atuples, want epoch=1 and $((tuples0 + 3)) tuples)"; exit 1
+fi
+echo "smoke: append applied (epoch 1, hash advanced, $tuples0 -> $atuples tuples)"
+
+remine=$(submit)
+[ "$(echo "$remine" | jq -r .cache_hit)" != true ] \
+  || { echo "smoke: FAIL — post-append submit was a cache hit (epoch did not invalidate)"; exit 1; }
+rid=$(echo "$remine" | jq -r .id)
+rstate=$(echo "$remine" | jq -r .state)
+for _ in $(seq 1 600); do
+  case "$rstate" in done) break ;; failed|canceled)
+    echo "smoke: FAIL — re-mine job $rid reached state $rstate"; exit 1 ;; esac
+  sleep 0.1
+  rstate=$(curl -sS "$base/v1/jobs/$rid" | jq -r .state)
+done
+[ "$rstate" = done ] || { echo "smoke: FAIL — re-mine job $rid stuck in $rstate"; exit 1; }
+echo "smoke: post-append re-mine was a cache miss and completed"
+
+# The delta re-mine must be indistinguishable from mining the full
+# concatenated contents from scratch.
+{ cat "$workdir/db2sample.csv"; tail -n +2 "$workdir/append.csv"; } > "$workdir/concat.csv"
+fds=$(curl -sS -X POST --data-binary @"$workdir/concat.csv" \
+  -H 'Content-Type: text/csv' "$base/v1/datasets?name=db2concat" | jq -r .id)
+fjob=$(curl -sS -X POST -H 'Content-Type: application/json' \
+  -d "{\"dataset\":\"$fds\",\"task\":\"rank-fds\"}" "$base/v1/jobs")
+fid=$(echo "$fjob" | jq -r .id)
+fstate=$(echo "$fjob" | jq -r .state)
+for _ in $(seq 1 600); do
+  case "$fstate" in done) break ;; failed|canceled)
+    echo "smoke: FAIL — scratch job $fid reached state $fstate"; exit 1 ;; esac
+  sleep 0.1
+  fstate=$(curl -sS "$base/v1/jobs/$fid" | jq -r .state)
+done
+[ "$fstate" = done ] || { echo "smoke: FAIL — scratch job $fid stuck in $fstate"; exit 1; }
+delta_art=$(curl -sS "$base/v1/jobs/$rid/result" | jq -cS .result)
+fresh_art=$(curl -sS "$base/v1/jobs/$fid/result" | jq -cS .result)
+[ "$delta_art" = "$fresh_art" ] \
+  || { echo "smoke: FAIL — delta re-mine artifact diverges from a from-scratch run"; exit 1; }
+echo "smoke: delta re-mine artifact matches a fresh full mine of the concatenated contents"
+
+ametrics=$(curl -sS "$base/v1/metrics")
+echo "$ametrics" | grep '^structmine_append_rows_total 3' >/dev/null \
+  || { echo "smoke: FAIL — structmine_append_rows_total missing or wrong"; exit 1; }
+echo "$ametrics" | grep '^structmine_append_epochs_total 1' >/dev/null \
+  || { echo "smoke: FAIL — structmine_append_epochs_total missing or wrong"; exit 1; }
+dcount=$(echo "$ametrics" | sed -n 's/^structmine_append_delta_remine_seconds_count //p')
+[ -n "$dcount" ] && [ "$dcount" -ge 1 ] \
+  || { echo "smoke: FAIL — structmine_append_delta_remine_seconds observed no delta re-mine (count=$dcount)"; exit 1; }
+echo "smoke: append counters and delta re-mine histogram exposed on /v1/metrics"
+
+# Crash inside the append window: SIGKILL the daemon, then plant the
+# durable intent record exactly as the handler writes it before
+# publishing any new state. The restarted store must replay it — rows
+# neither lost nor doubled — and a second boot must not re-apply it.
+echo "smoke: SIGKILL the daemon and simulate a crash mid-append (intent written, state unpublished)"
+kill -KILL "$pid"
+for _ in $(seq 1 100); do
+  kill -0 "$pid" 2>/dev/null || break
+  sleep 0.1
+done
+pid=""
+head -n1 "$workdir/db2sample.csv" > "$workdir/append2.csv"
+tail -n2 "$workdir/db2sample.csv" >> "$workdir/append2.csv"
+nhash=$({ printf '%s' "$ahash"; cat "$workdir/append2.csv"; } | sha256sum | awk '{print $1}')
+nbytes=$(($(echo "$after" | jq .bytes) + $(wc -c < "$workdir/append2.csv")))
+jq -n --arg id "$ds" --arg oh "$ahash" --arg nh "$nhash" \
+      --argjson ep 2 --argjson by "$nbytes" \
+      --arg rows "$(base64 -w0 "$workdir/append2.csv")" \
+  '{id: $id, name: "", source: "", old_hash: $oh, new_hash: $nh, epoch: $ep, bytes: $by, rows: $rows}' \
+  > "$workdir/state/appends/$nhash.apd"
+
+boot "$workdir/log5"
+crashed=$(curl -sS "$base/v1/datasets/$ds")
+cep=$(echo "$crashed" | jq .epoch)
+chash=$(echo "$crashed" | jq -r .hash)
+ctuples=$(echo "$crashed" | jq .summary.tuples)
+if [ "$cep" != 2 ] || [ "$chash" != "$nhash" ] || [ "$ctuples" != $((atuples + 2)) ]; then
+  echo "smoke: FAIL — crashed append not replayed exactly once (epoch=$cep tuples=$ctuples, want epoch=2 and $((atuples + 2)) tuples)"; exit 1
+fi
+curl -sS "$base/v1/metrics" | grep '^structmine_store_append_replays_total 1' >/dev/null \
+  || { echo "smoke: FAIL — append replay counter missing from /v1/metrics"; exit 1; }
+echo "smoke: mid-append crash replayed to exactly one application ($atuples -> $ctuples tuples)"
 
 kill -TERM "$pid"
 for _ in $(seq 1 100); do
