@@ -340,13 +340,9 @@ func BenchmarkTANE(b *testing.B) {
 	run("dblp-full/n=20000", benchDBLP(b))
 }
 
-// BenchmarkColstoreScan sweeps every page of every column of the
-// 20k-tuple DBLP relation through the relation.Columns interface, once
-// over the resident adapter and once over an mmap-backed colstore
-// table, so the out-of-core read overhead is measured rather than
-// assumed. A TANE sub-pair mines the same relation both ways, timing
-// the full dependency-discovery pipeline over paged input.
-func BenchmarkColstoreScan(b *testing.B) {
+// benchColstore writes the 20k-tuple DBLP projection to a colstore
+// file once per process and opens it for the paged benchmark legs.
+func benchColstore(b *testing.B) (*relation.Relation, *colstore.Table) {
 	r := benchDBLP(b).Project(datagen.ProjectionAttrs())
 	meta := store.DatasetMeta{
 		Hash: fmt.Sprintf("%x", sha256.Sum256([]byte("bench-colstore"))),
@@ -361,21 +357,40 @@ func BenchmarkColstoreScan(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { tbl.Close() })
+	return r, tbl
+}
 
+// BenchmarkPagedScan sweeps every stripe of every column of the
+// 20k-tuple DBLP relation through relation.ScanStripes — the fanned,
+// batched read path the paged miners sit on — once over the resident
+// adapter and once over an mmap-backed colstore table. CI runs both
+// legs at -cpu 1,4 and gates the paged/resident ratio at 4 cpus (warn
+// >1.5x, fail >2x; see scripts/benchcmp.sh --parity), so the
+// out-of-core read overhead is measured rather than assumed.
+func BenchmarkPagedScan(b *testing.B) {
+	r, tbl := benchColstore(b)
 	scan := func(b *testing.B, c relation.Columns) {
-		var buf []int32
+		attrs := make([]int, c.M())
+		for a := range attrs {
+			attrs[a] = a
+		}
+		ctx := context.Background()
 		var sum int64
 		for i := 0; i < b.N; i++ {
-			for p := 0; p < c.NumPages(); p++ {
-				for a := 0; a < c.M(); a++ {
-					buf, err = c.ReadPage(p, a, buf)
-					if err != nil {
-						b.Fatal(err)
-					}
-					for _, v := range buf {
-						sum += int64(v)
+			sums := make([]int64, relation.ScanWorkers(ctx, c, len(attrs)))
+			err := relation.ScanStripes(ctx, c, attrs, func(w, p int, cols [][]int32) error {
+				for _, col := range cols {
+					for _, v := range col {
+						sums[w] += int64(v)
 					}
 				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, s := range sums {
+				sum += s
 			}
 		}
 		if sum == 0 && c.N() > 0 {
@@ -383,17 +398,25 @@ func BenchmarkColstoreScan(b *testing.B) {
 		}
 		b.SetBytes(int64(c.N()) * int64(c.M()) * 4)
 	}
-	b.Run("scan/resident", func(b *testing.B) { scan(b, relation.AsColumns(r)) })
-	b.Run("scan/paged", func(b *testing.B) { scan(b, tbl) })
+	b.Run("resident", func(b *testing.B) { scan(b, relation.AsColumns(r)) })
+	b.Run("paged", func(b *testing.B) { scan(b, tbl) })
+}
 
-	b.Run("tane/resident", func(b *testing.B) {
+// BenchmarkPagedTANE mines the same relation through both serving
+// paths — the resident row pipeline and column discovery over the
+// paged table (whose level-1 partitions come straight from the value
+// index) — timing the full dependency-discovery pipeline each way.
+// CI gates the paged/resident ratio alongside BenchmarkPagedScan.
+func BenchmarkPagedTANE(b *testing.B) {
+	r, tbl := benchColstore(b)
+	b.Run("resident", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := fd.TANE(r); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
-	b.Run("tane/paged", func(b *testing.B) {
+	b.Run("paged", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := fd.DiscoverColumns(context.Background(), tbl); err != nil {
 				b.Fatal(err)

@@ -105,6 +105,7 @@ func run(args []string, ready chan<- string) error {
 	dataDir := fs.String("data-dir", "", "directory HTTP clients may register datasets from by path (empty = uploads only)")
 	maxDatasets := fs.Int("max-datasets", 64, "maximum resident datasets")
 	residentBytes := fs.Int64("resident-bytes", 0, "total CSV bytes kept resident in memory (0 = unlimited; with -persist, datasets beyond the budget are served out of core from paged colstore files)")
+	primCacheBytes := fs.Int64("primcache-bytes", 64<<20, "byte budget of the per-dataset primitive cache serving paged jobs (negative = disabled)")
 	maxJobs := fs.Int("max-jobs", 1024, "maximum retained job records (oldest finished jobs are forgotten first)")
 	cacheEntries := fs.Int("cache-entries", 512, "maximum artifact-cache entries (LRU eviction)")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (unauthenticated; loopback only)")
@@ -145,6 +146,7 @@ func run(args []string, ready chan<- string) error {
 		DataDir:        *dataDir,
 		MaxDatasets:    *maxDatasets,
 		ResidentBytes:  *residentBytes,
+		PrimCacheBytes: *primCacheBytes,
 		MaxJobs:        *maxJobs,
 		CacheEntries:   *cacheEntries,
 		EnablePprof:    *enablePprof,

@@ -58,4 +58,7 @@ var (
 		"Columnar relation files currently open.")
 	bytesMapped = obs.Default.Gauge("structmine_colstore_bytes_mapped",
 		"Bytes of columnar files currently memory-mapped.")
+	pageReadSeconds = obs.Default.Histogram("structmine_colstore_page_read_seconds",
+		"Latency of page read operations, fetch + CRC + decode; a batched ReadStripe counts as one operation.",
+		obs.TimeBuckets)
 )

@@ -37,6 +37,11 @@ func openMapping(path string) (mapping, error) {
 	if err != nil {
 		return nil, fmt.Errorf("colstore: mmap %s: %w", path, err)
 	}
+	// Column scans walk the stripes front to back, so ask the kernel for
+	// aggressive sequential readahead. Purely advisory — a refusal (some
+	// filesystems, locked-down sandboxes) costs nothing but the default
+	// readahead window.
+	_ = syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
 	bytesMapped.Add(int64(size))
 	return &mmapMapping{data: data}, nil
 }

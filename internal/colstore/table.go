@@ -4,7 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"sync"
+	"sync/atomic"
+	"time"
 
 	"structmine/internal/relation"
 	"structmine/internal/store"
@@ -52,8 +53,12 @@ type Table struct {
 	// mapped file rather than keeping postings resident.
 	attrIndexOff []int
 
-	mu     sync.Mutex
-	faults []uint64 // validation bitmap, bit s*m+a
+	// faults is the validation bitmap, bit s*m+a, read with atomic loads
+	// on every page read (the scan hot path) and set with CAS only after
+	// a page validates. A racing pair of first readers both validate —
+	// harmless duplicate work — but a reader can never skip the CRC of a
+	// page that has not yet validated successfully.
+	faults []atomic.Uint64
 }
 
 // Open maps and validates a .col file. Corrupt files fail with an error
@@ -111,7 +116,7 @@ func newTable(path string, mm mapping) (*Table, error) {
 		mm:      mm,
 		tailOff: tailOff,
 		tailLen: tailLen,
-		faults:  make([]uint64, (h.numStripes()*h.m+63)/64),
+		faults:  make([]atomic.Uint64, (h.numStripes()*h.m+63)/64),
 	}
 	if err := t.parseTail(tail); err != nil {
 		return nil, err
@@ -331,46 +336,135 @@ func (t *Table) ReadPage(p, a int, dst []int32) ([]int32, error) {
 	if a < 0 || a >= t.h.m {
 		return nil, fmt.Errorf("colstore: attribute %d out of range (have %d)", a, t.h.m)
 	}
+	start := time.Now()
 	b, err := t.mm.readAt(t.h.pageOff(p, a), int(pageSize(rows)))
 	if err != nil {
 		return nil, err
 	}
 	pagesRead.Inc()
-	if cap(dst) < rows {
-		dst = make([]int32, rows)
+	dst = sizePage(dst, rows, t.h.pageRows)
+	if err := t.decodePage(b, p, a, rows, dst); err != nil {
+		return nil, err
 	}
-	dst = dst[:rows]
-	validate := t.firstTouch(p, a)
+	pageReadSeconds.Observe(time.Since(start).Seconds())
+	return dst, nil
+}
+
+// ReadStripe reads the pages of every attribute in attrs for stripe p
+// with one contiguous fetch — the pages of a stripe are adjacent on
+// disk, so the span from the lowest to the highest requested attribute
+// is a single readAt instead of len(attrs) seeks. Validation stays
+// per-(page, attribute).
+func (t *Table) ReadStripe(p int, attrs []int, dst [][]int32) ([][]int32, error) {
+	rows := t.PageLen(p)
+	if rows == 0 {
+		return nil, fmt.Errorf("colstore: page %d out of range (have %d)", p, t.h.numStripes())
+	}
+	if len(attrs) == 0 {
+		return dst[:0], nil
+	}
+	lo, hi := attrs[0], attrs[0]
+	for _, a := range attrs {
+		if a < 0 || a >= t.h.m {
+			return nil, fmt.Errorf("colstore: attribute %d out of range (have %d)", a, t.h.m)
+		}
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	start := time.Now()
+	ps := pageSize(rows)
+	b, err := t.mm.readAt(t.h.pageOff(p, lo), int(int64(hi-lo+1)*ps))
+	if err != nil {
+		return nil, err
+	}
+	pagesRead.Add(uint64(len(attrs)))
+	if len(dst) < len(attrs) {
+		grown := make([][]int32, len(attrs))
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:len(attrs)]
+	for i, a := range attrs {
+		dst[i] = sizePage(dst[i], rows, t.h.pageRows)
+		page := b[int64(a-lo)*ps : int64(a-lo+1)*ps]
+		if err := t.decodePage(page, p, a, rows, dst[i]); err != nil {
+			return nil, err
+		}
+	}
+	pageReadSeconds.Observe(time.Since(start).Seconds())
+	return dst, nil
+}
+
+// sizePage readies dst for rows values, allocating the full nominal
+// page size when it must grow so the buffer is reusable across every
+// page of the table (only the tail page is shorter).
+func sizePage(dst []int32, rows, pageRows int) []int32 {
+	if cap(dst) < rows {
+		n := pageRows
+		if rows > n {
+			n = rows
+		}
+		return make([]int32, n)[:rows]
+	}
+	return dst[:rows]
+}
+
+// decodePage decodes one on-disk page (data + CRC) into dst, verifying
+// the CRC and that every id belongs to attribute a the first time the
+// (p,a) page is seen. Validation is marked only after it succeeds, so
+// concurrent first readers may both validate (harmless) but no reader
+// ever skips the CRC of a never-validated page. Failed validations are
+// not marked: a corrupt page error is terminal for the consuming job
+// either way, and the error path re-surfaces on reopen.
+func (t *Table) decodePage(b []byte, p, a, rows int, dst []int32) error {
+	validate := !t.validated(p, a)
 	if validate {
 		data := b[:rows*4]
 		if got, want := binary.LittleEndian.Uint32(b[rows*4:]), crc32.ChecksumIEEE(data); got != want {
-			return nil, fmt.Errorf("%w: page (%d,%d) CRC32 %08x, computed %08x", ErrCorrupt, p, a, got, want)
+			return fmt.Errorf("%w: page (%d,%d) CRC32 %08x, computed %08x", ErrCorrupt, p, a, got, want)
 		}
 	}
 	for i := 0; i < rows; i++ {
 		v := int32(binary.LittleEndian.Uint32(b[i*4:]))
 		if validate && (v < 0 || int(v) >= t.h.d || t.valueAttr[v] != int32(a)) {
-			return nil, fmt.Errorf("%w: page (%d,%d) row %d holds foreign value id %d", ErrCorrupt, p, a, i, v)
+			return fmt.Errorf("%w: page (%d,%d) row %d holds foreign value id %d", ErrCorrupt, p, a, i, v)
 		}
 		dst[i] = v
 	}
-	return dst, nil
+	if validate {
+		t.markValidated(p, a)
+	}
+	return nil
 }
 
-// firstTouch marks page (p,a) validated, reporting whether this call
-// must validate it. Failed validations are not un-marked: a corrupt
-// page error is terminal for the consuming job either way, and the
-// error path re-surfaces on reopen.
-func (t *Table) firstTouch(p, a int) bool {
+// validated reports whether page (p,a) has already passed validation.
+// One atomic load — the steady-state scan hot path takes no lock.
+func (t *Table) validated(p, a int) bool {
 	bit := uint(p*t.h.m + a)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.faults[bit/64]&(1<<(bit%64)) != 0 {
-		return false
+	return t.faults[bit/64].Load()&(1<<(bit%64)) != 0
+}
+
+// markValidated sets the page's bit after a successful validation; the
+// CAS winner counts the metrics "page fault" so racing first readers
+// are counted once.
+func (t *Table) markValidated(p, a int) {
+	bit := uint(p*t.h.m + a)
+	w := &t.faults[bit/64]
+	mask := uint64(1) << (bit % 64)
+	for {
+		old := w.Load()
+		if old&mask != 0 {
+			return
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			pageFaults.Inc()
+			return
+		}
 	}
-	t.faults[bit/64] |= 1 << (bit % 64)
-	pageFaults.Inc()
-	return true
 }
 
 func (t *Table) VisitValues(a int, f func(v int32, count int, runs []relation.Run) error) error {

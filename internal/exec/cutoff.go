@@ -26,6 +26,9 @@ const (
 	// TANEProduct: partition products per lattice level; work counts
 	// stripped-partition tuples (~10 ns each).
 	TANEProduct
+	// ColScan: page-stripe scans over a Columns source; work counts
+	// tuples decoded (~1 ns each resident, dominated by page I/O paged).
+	ColScan
 
 	numKernels
 )
@@ -44,6 +47,7 @@ var cutoffs = [numKernels]int{
 	LIMBOClosest: 16384, // ~5 ns/unit → ~80 µs of work
 	LIMBOAssign:  256,   // ~µs/unit → ~0.25 ms of work
 	TANEProduct:  8192,  // ~10 ns/unit → ~80 µs of work
+	ColScan:      16384, // ~1–10 ns/unit → ≥ ~20 µs of work (4+ stripes)
 }
 
 var kernelNames = [numKernels]string{
@@ -53,6 +57,7 @@ var kernelNames = [numKernels]string{
 	LIMBOClosest: "limbo_closest",
 	LIMBOAssign:  "limbo_assign",
 	TANEProduct:  "tane_product",
+	ColScan:      "col_scan",
 }
 
 // Cutoff returns the kernel's serial-below threshold in work units.

@@ -15,25 +15,25 @@ import (
 // singlePartitionColumns builds Π_{A} from the value index: the index
 // lists values in ascending id order with ascending tuple runs, which
 // is exactly the class order and tuple order singlePartitionClasses
-// emits, flattened directly into the arena layout.
+// emits, flattened directly into the arena layout
+// (relation.StrippedPartition). A source that can serve cached
+// partitions (relation.PartitionSource, e.g. a primcache wrapper) is
+// probed first; its slices are shared read-only, which is safe because
+// TANE only ever reads level-1 partitions — products carve new ones.
 func singlePartitionColumns(c relation.Columns, a int) (*partition, error) {
-	p := &partition{offs: []int32{0}}
-	err := c.VisitValues(a, func(v int32, count int, runs []relation.Run) error {
-		if count < 2 {
-			return nil // stripped: singleton classes are dropped
-		}
-		for _, r := range runs {
-			for t := r.Start; t < r.Start+r.Len; t++ {
-				p.elems = append(p.elems, t)
-			}
-		}
-		p.offs = append(p.offs, int32(len(p.elems)))
-		return nil
-	})
+	var (
+		elems, offs []int32
+		err         error
+	)
+	if ps, ok := c.(relation.PartitionSource); ok {
+		elems, offs, err = ps.SinglePartition(a)
+	} else {
+		elems, offs, err = relation.StrippedPartition(c, a)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return p, nil
+	return &partition{elems: elems, offs: offs}, nil
 }
 
 // HoldsColumns reports whether the dependency is satisfied, streaming
@@ -44,20 +44,16 @@ func HoldsColumns(c relation.Columns, f FD) (bool, error) {
 	rhs := f.RHS.Attrs()
 	seen := make(map[string][]int32, c.N())
 	key := make([]byte, 0, 32)
-	lcols := make([][]int32, len(lhs))
-	rcols := make([][]int32, len(rhs))
+	attrs := make([]int, 0, len(lhs)+len(rhs))
+	attrs = append(append(attrs, lhs...), rhs...)
+	cols := make([][]int32, len(attrs))
 	for p := 0; p < c.NumPages(); p++ {
-		var err error
-		for i, a := range lhs {
-			if lcols[i], err = c.ReadPage(p, a, lcols[i]); err != nil {
-				return false, err
-			}
+		got, err := c.ReadStripe(p, attrs, cols)
+		if err != nil {
+			return false, err
 		}
-		for i, a := range rhs {
-			if rcols[i], err = c.ReadPage(p, a, rcols[i]); err != nil {
-				return false, err
-			}
-		}
+		cols = got
+		lcols, rcols := cols[:len(lhs)], cols[len(lhs):]
 		rows := c.PageLen(p)
 		for t := 0; t < rows; t++ {
 			key = key[:0]

@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // DefaultPageRows is the number of tuples per column page used when a
@@ -29,6 +30,10 @@ type Run struct {
 // Two implementations exist: AsColumns wraps a resident *Relation, and
 // colstore.Table reads the on-disk paged format. Kernels written
 // against Columns must produce bit-identical results on both.
+//
+// Implementations must be safe for concurrent readers — ScanStripes
+// fans pages across goroutines — provided each goroutine passes its own
+// dst scratch.
 type Columns interface {
 	// Name returns the relation name.
 	Name() string
@@ -54,6 +59,14 @@ type Columns interface {
 	// mmap-backed implementations may return memory that is revalidated
 	// or remapped between calls.
 	ReadPage(p, a int, dst []int32) ([]int32, error)
+	// ReadStripe reads the pages of every attribute in attrs for stripe p
+	// in one pass: out[i] holds the value ids of attrs[i], each of length
+	// PageLen(p). dst is optional scratch with the same reuse contract as
+	// ReadPage's (dst[i] backs out[i] when its capacity suffices); passing
+	// a dst of length ≥ len(attrs) from a previous call avoids all
+	// allocation. On-disk implementations fetch the whole stripe with one
+	// contiguous read instead of len(attrs) seeks.
+	ReadStripe(p int, attrs []int, dst [][]int32) ([][]int32, error)
 	// VisitValues calls f once per distinct value of attribute a, in
 	// ascending value-id order, with the value's tuple count and its
 	// run-length-compressed posting list (runs ascending, disjoint).
@@ -73,9 +86,9 @@ func AsColumns(r *Relation) Columns {
 }
 
 type residentColumns struct {
-	r    *Relation
-	st   *Stats // lazy; built on first VisitValues/NullCount
-	runs []Run  // scratch reused across VisitValues callbacks
+	r      *Relation
+	stOnce sync.Once
+	st     *Stats // lazy; built on first VisitValues/NullCount
 }
 
 func (c *residentColumns) Name() string        { return c.r.Name }
@@ -108,7 +121,15 @@ func (c *residentColumns) ReadPage(p, a int, dst []int32) ([]int32, error) {
 		return nil, fmt.Errorf("relation: attribute %d out of range (have %d)", a, c.r.M())
 	}
 	if cap(dst) < rows {
-		dst = make([]int32, rows)
+		// Right-size to the full nominal page so the same buffer is
+		// reusable across every page (only the tail page is shorter) —
+		// an exact-size allocation here would silently reallocate on
+		// each longer page that follows.
+		n := DefaultPageRows
+		if rows > n {
+			n = rows
+		}
+		dst = make([]int32, n)
 	}
 	dst = dst[:rows]
 	base := p * DefaultPageRows
@@ -118,10 +139,29 @@ func (c *residentColumns) ReadPage(p, a int, dst []int32) ([]int32, error) {
 	return dst, nil
 }
 
-func (c *residentColumns) stats() *Stats {
-	if c.st == nil {
-		c.st = c.r.Stats()
+func (c *residentColumns) ReadStripe(p int, attrs []int, dst [][]int32) ([][]int32, error) {
+	rows := c.PageLen(p)
+	if rows == 0 {
+		return nil, fmt.Errorf("relation: page %d out of range (have %d pages)", p, c.NumPages())
 	}
+	if len(dst) < len(attrs) {
+		grown := make([][]int32, len(attrs))
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:len(attrs)]
+	for i, a := range attrs {
+		got, err := c.ReadPage(p, a, dst[i])
+		if err != nil {
+			return nil, err
+		}
+		dst[i] = got
+	}
+	return dst, nil
+}
+
+func (c *residentColumns) stats() *Stats {
+	c.stOnce.Do(func() { c.st = c.r.Stats() })
 	return c.st
 }
 
@@ -130,12 +170,13 @@ func (c *residentColumns) VisitValues(a int, f func(v int32, count int, runs []R
 		return fmt.Errorf("relation: attribute %d out of range (have %d)", a, c.r.M())
 	}
 	st := c.stats()
+	var runs []Run // per-call scratch: VisitValues runs concurrently per attribute
 	for v := int32(0); v < int32(c.r.D()); v++ {
 		if c.r.valueAttr[v] != a {
 			continue
 		}
-		c.runs = compressRuns(c.runs[:0], st.Tuples[v])
-		if err := f(v, st.Count[v], c.runs); err != nil {
+		runs = compressRuns(runs[:0], st.Tuples[v])
+		if err := f(v, st.Count[v], runs); err != nil {
 			return err
 		}
 	}
@@ -205,13 +246,11 @@ func scanProjection(c Columns, attrs []int, visit func(key []byte)) error {
 	cols := make([][]int32, len(attrs))
 	key := make([]byte, 0, 5*len(attrs))
 	for p := 0; p < c.NumPages(); p++ {
-		for i, a := range attrs {
-			got, err := c.ReadPage(p, a, cols[i])
-			if err != nil {
-				return err
-			}
-			cols[i] = got
+		got, err := c.ReadStripe(p, attrs, cols)
+		if err != nil {
+			return err
 		}
+		cols = got
 		rows := c.PageLen(p)
 		for t := 0; t < rows; t++ {
 			key = key[:0]

@@ -1,0 +1,82 @@
+package relation
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"structmine/internal/exec"
+	"structmine/internal/par"
+)
+
+// ScanStripes streams every page stripe of c through fn, fanning the
+// stripes across the context's worker budget (exec.ColScan kernel).
+// fn(w, p, cols) receives the worker index, the page index, and one
+// decoded column per entry of attrs, each of length PageLen(p). Page
+// buffers are carved once per worker from a pooled arena, so a full
+// scan costs O(workers) page allocations regardless of page count.
+//
+// Concurrency contract: fn runs concurrently for different pages but
+// never concurrently for the same w, and cols is reused across the
+// pages a worker claims — fn must copy anything it retains, and any
+// shared state it writes must be per-page slots (out[rowOf(p, t)]) or
+// otherwise non-aliasing across pages. Pages are not visited in order.
+//
+// The first error (from ReadStripe or fn, lowest page index wins)
+// cancels the remaining pages and is returned.
+func ScanStripes(ctx context.Context, c Columns, attrs []int, fn func(w, p int, cols [][]int32) error) error {
+	pages := c.NumPages()
+	if pages == 0 || len(attrs) == 0 {
+		return nil
+	}
+	work := c.N() * len(attrs)
+	workers := par.NumWorkers(ctx, exec.ColScan, pages, work)
+	dsts := make([][][]int32, workers)
+	var (
+		mu   sync.Mutex
+		errP = -1
+		err  error
+		bail atomic.Bool
+	)
+	par.ForChunk(ctx, exec.ColScan, pages, work, func(w, lo, hi int) {
+		if dsts[w] == nil {
+			ar := exec.CheckoutArena(ctx)
+			bufs := make([][]int32, len(attrs))
+			for i := range bufs {
+				bufs[i] = ar.Int32s(c.PageRows())
+			}
+			dsts[w] = bufs
+		}
+		for p := lo; p < hi; p++ {
+			if bail.Load() {
+				return
+			}
+			cols, e := c.ReadStripe(p, attrs, dsts[w])
+			if e == nil {
+				dsts[w] = cols
+				e = fn(w, p, cols)
+			}
+			if e != nil {
+				mu.Lock()
+				if errP < 0 || p < errP {
+					errP, err = p, e
+				}
+				mu.Unlock()
+				bail.Store(true)
+				return
+			}
+		}
+	})
+	return err
+}
+
+// ScanWorkers reports the worker bound ScanStripes will use for a scan
+// of c over len(attrs) columns — the size callers give per-worker
+// accumulator state.
+func ScanWorkers(ctx context.Context, c Columns, nattrs int) int {
+	pages := c.NumPages()
+	if pages == 0 || nattrs == 0 {
+		return 0
+	}
+	return par.NumWorkers(ctx, exec.ColScan, pages, c.N()*nattrs)
+}

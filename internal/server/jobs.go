@@ -10,6 +10,7 @@ import (
 
 	"structmine/internal/exec"
 	"structmine/internal/obs"
+	"structmine/internal/primcache"
 	"structmine/internal/relation"
 	"structmine/internal/store"
 	"structmine/internal/task"
@@ -49,6 +50,7 @@ type Job struct {
 	task      string
 	params    task.Params
 	key       string // artifact-cache key
+	hash      string // dataset content hash pinned at Submit (keys the primitive cache)
 	epoch     int    // dataset epoch pinned at Submit (keys the mine-state)
 
 	// Exactly one of rel/cols is set for executable jobs, pinned at
@@ -115,8 +117,9 @@ type jobRecord struct {
 type Runner struct {
 	reg     *Registry
 	cache   *Cache
-	st      *store.Store    // optional journal (nil = memory only)
-	sched   *exec.Scheduler // divides CPU cores fairly across concurrent jobs
+	st      *store.Store     // optional journal (nil = memory only)
+	sched   *exec.Scheduler  // divides CPU cores fairly across concurrent jobs
+	prim    *primcache.Cache // optional (hash, epoch)-keyed primitive cache for paged jobs
 	timeout time.Duration
 	retain  int // max job records kept; oldest terminal jobs beyond it are dropped
 
@@ -139,8 +142,10 @@ type Runner struct {
 // the oldest terminal jobs are forgotten — their artifacts stay in the
 // cache, but polling the job id yields 404. A non-nil st journals every
 // terminal job. sched divides CPU cores fairly across the jobs running
-// concurrently on the pool (nil = the process-wide exec.Default).
-func NewRunner(reg *Registry, cache *Cache, st *store.Store, sched *exec.Scheduler, workers, depth int, timeout time.Duration, retain int) *Runner {
+// concurrently on the pool (nil = the process-wide exec.Default). A
+// non-nil prim serves single-attribute primitives of paged datasets
+// across jobs, keyed (hash, epoch, attr).
+func NewRunner(reg *Registry, cache *Cache, st *store.Store, sched *exec.Scheduler, prim *primcache.Cache, workers, depth int, timeout time.Duration, retain int) *Runner {
 	if workers < 1 {
 		workers = 1
 	}
@@ -152,7 +157,7 @@ func NewRunner(reg *Registry, cache *Cache, st *store.Store, sched *exec.Schedul
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Runner{
-		reg: reg, cache: cache, st: st, sched: sched, timeout: timeout, retain: retain,
+		reg: reg, cache: cache, st: st, sched: sched, prim: prim, timeout: timeout, retain: retain,
 		baseCtx: ctx, baseCancel: cancel,
 		jobs: map[string]*Job{}, queue: make(chan *Job, depth),
 	}
@@ -266,7 +271,7 @@ func (q *Runner) Submit(datasetID, taskName string, p task.Params) (JobView, err
 	job := &Job{
 		id: fmt.Sprintf("job-%06d", q.seq), datasetID: ds.ID, dataset: ds,
 		rel: rel, cols: cols,
-		task: taskName, params: p, epoch: ds.Epoch,
+		task: taskName, params: p, hash: ds.Hash, epoch: ds.Epoch,
 		key: Key(ds.Hash, ds.Epoch, taskName, p), state: StateQueued,
 		trace:     obs.TraceReport{Stages: []obs.StageTiming{}},
 		submitted: time.Now(),
@@ -384,7 +389,13 @@ func (q *Runner) run(job *Job) {
 	var res any
 	var err error
 	if job.cols != nil {
-		res, err = task.RunColumns(obs.WithTrace(ctx, tr), job.cols, job.task, job.params)
+		// Paged jobs read through the primitive cache: single-attribute
+		// partitions and marginals computed by any earlier job on the same
+		// (hash, epoch) are shared read-only instead of rederived. The
+		// wrapper is per-job, so the cache never outlives its keying — an
+		// append bumps the epoch and later submissions address new keys.
+		cols := primcache.Wrap(job.cols, job.hash, job.epoch, q.prim)
+		res, err = task.RunColumns(obs.WithTrace(ctx, tr), cols, job.task, job.params)
 	} else {
 		// Resident jobs run through the state-aware runner: with a store
 		// attached they persist mine-state per (dataset, epoch) and, after

@@ -27,6 +27,7 @@ import (
 
 	"structmine/internal/exec"
 	"structmine/internal/obs"
+	"structmine/internal/primcache"
 	"structmine/internal/relation"
 	"structmine/internal/store"
 )
@@ -75,6 +76,11 @@ type Config struct {
 	// the total exceeds the budget. Evicted datasets keep their id and
 	// summary; their paged handles reopen lazily.
 	ResidentBytes int64
+	// PrimCacheBytes caps the (hash, epoch, attribute)-keyed primitive
+	// cache serving single-attribute partitions, marginal entropies, and
+	// dictionary decodes to paged jobs (default 64 MiB, LRU-evicted;
+	// negative disables caching).
+	PrimCacheBytes int64
 	// MaxJobs caps how many job records are retained (default 1024);
 	// beyond it the oldest terminal jobs are forgotten.
 	MaxJobs int
@@ -109,6 +115,9 @@ func (c Config) normalized() Config {
 	}
 	if c.MaxDatasets <= 0 {
 		c.MaxDatasets = 64
+	}
+	if c.PrimCacheBytes == 0 {
+		c.PrimCacheBytes = 64 << 20
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
@@ -153,7 +162,8 @@ func New(cfg Config) *Server {
 	s.reg.st = cfg.Store
 	s.reg.budget = cfg.ResidentBytes
 	s.cache.st = cfg.Store
-	s.jobs = NewRunner(s.reg, s.cache, cfg.Store, exec.NewScheduler(cfg.Procs), cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.MaxJobs)
+	s.jobs = NewRunner(s.reg, s.cache, cfg.Store, exec.NewScheduler(cfg.Procs), primcache.New(cfg.PrimCacheBytes),
+		cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.MaxJobs)
 	if cfg.Store != nil {
 		for _, ld := range cfg.Store.Datasets() {
 			s.reg.Adopt(ld.Meta, ld.Rel)

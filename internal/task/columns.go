@@ -5,12 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"structmine/internal/attrs"
 	"structmine/internal/fd"
 	"structmine/internal/fdrank"
-	"structmine/internal/it"
 	"structmine/internal/measures"
 	"structmine/internal/relation"
 	"structmine/internal/tuples"
@@ -64,36 +62,33 @@ func DescribeColumns(c relation.Columns) (*DescribeResult, error) {
 		DistinctValues: c.D(),
 	}
 	names := c.AttrNames()
+	ms, cached := c.(relation.MarginalSource)
 	for a := 0; a < m; a++ {
-		hv := 0.0
-		total := float64(n) * float64(m)
-		var counts []int
-		err := c.VisitValues(a, func(v int32, count int, runs []relation.Run) error {
-			counts = append(counts, count)
-			if count > 0 && n > 0 {
-				p := float64(count) / total
-				hv -= p * math.Log2(p)
-			}
-			return nil
-		})
+		// relation.ComputeAttrMarginal sums p(v) contributions in
+		// ascending value-id order and entropies over descending counts —
+		// the exact sequence this loop historically computed inline — and
+		// a MarginalSource (e.g. a primcache wrapper) serves the same
+		// struct, so cached and fresh describes are bit-identical.
+		var mg relation.AttrMarginal
+		var err error
+		if cached {
+			mg, err = ms.Marginal(a)
+		} else {
+			mg, err = relation.ComputeAttrMarginal(c, a)
+		}
 		if err != nil {
 			return nil, err
 		}
-		res.TupleInfoBits += hv
-		distinct := len(counts)
-		// The single-attribute projection counts are exactly the per-value
-		// occurrence counts; sorted descending they are the same sequence
-		// ProjectionCounts emits, so the entropy sum is bit-identical.
-		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		res.TupleInfoBits += mg.HV
 		nullFrac := 0.0
 		if n > 0 {
 			nullFrac = float64(c.NullCount(a)) / float64(n)
 		}
 		res.Attrs = append(res.Attrs, AttrProfile{
 			Name:         names[a],
-			Distinct:     distinct,
+			Distinct:     mg.Distinct,
 			NullFraction: nullFrac,
-			EntropyBits:  it.EntropyCounts(counts),
+			EntropyBits:  mg.EntropyBits,
 		})
 	}
 	if n > 0 && m > 0 {
@@ -148,7 +143,7 @@ func runMineFDsColumns(ctx context.Context, c relation.Columns) (*FDsResult, err
 // the clustering is bit-identical to the resident run.
 func clusterValuesForColumns(ctx context.Context, c relation.Columns, p Params) (*values.Clustering, error) {
 	if !p.Double {
-		objs, err := values.ObjectsColumns(c)
+		objs, err := values.ObjectsColumnsCtx(ctx, c)
 		if err != nil {
 			return nil, err
 		}
@@ -161,7 +156,7 @@ func clusterValuesForColumns(ctx context.Context, c relation.Columns, p Params) 
 	if err := step(ctx, "value clustering over tuple clusters"); err != nil {
 		return nil, err
 	}
-	objs, err := values.ObjectsOverClustersColumns(c, assign, k)
+	objs, err := values.ObjectsOverClustersColumnsCtx(ctx, c, assign, k)
 	if err != nil {
 		return nil, err
 	}

@@ -33,35 +33,49 @@ func Objects(r *relation.Relation) []limbo.Obj {
 }
 
 // ObjectsColumns is Objects over the paged column interface: one page
-// stripe is resident at a time, and each tuple's object is identical to
-// the resident construction (same ids, same uniform conditionals), so
-// downstream clustering is bit-identical.
+// stripe per worker is resident at a time, and each tuple's object is
+// identical to the resident construction (same ids, same uniform
+// conditionals), so downstream clustering is bit-identical.
 func ObjectsColumns(c relation.Columns) ([]limbo.Obj, error) {
+	return ObjectsColumnsCtx(context.Background(), c)
+}
+
+// ObjectsColumnsCtx is ObjectsColumns under the context's worker
+// budget: page stripes fan across workers, each writing the per-tuple
+// slots of its own pages — object construction is pure per-index, so
+// the result is bit-identical for any budget.
+func ObjectsColumnsCtx(ctx context.Context, c relation.Columns) ([]limbo.Obj, error) {
 	n := c.N()
 	m := c.M()
 	objs := make([]limbo.Obj, n)
-	cols := make([][]int32, m)
-	row := make([]int32, m)
-	t := 0
-	for p := 0; p < c.NumPages(); p++ {
-		var err error
-		for a := 0; a < m; a++ {
-			if cols[a], err = c.ReadPage(p, a, cols[a]); err != nil {
-				return nil, err
-			}
+	attrs := make([]int, m)
+	for a := range attrs {
+		attrs[a] = a
+	}
+	pageRows := c.PageRows()
+	scratch := make([][]int32, relation.ScanWorkers(ctx, c, m))
+	err := relation.ScanStripes(ctx, c, attrs, func(w, p int, cols [][]int32) error {
+		row := scratch[w]
+		if row == nil {
+			row = make([]int32, m)
+			scratch[w] = row
 		}
+		base := p * pageRows
 		rows := c.PageLen(p)
 		for i := 0; i < rows; i++ {
 			for a := 0; a < m; a++ {
 				row[a] = cols[a][i]
 			}
-			objs[t] = limbo.Obj{
-				ID:   int32(t),
+			objs[base+i] = limbo.Obj{
+				ID:   int32(base + i),
 				W:    1.0 / float64(n),
 				Cond: it.Uniform(row), // Uniform copies; row is reused
 			}
-			t++
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return objs, nil
 }
@@ -334,7 +348,7 @@ func CompressCtx(ctx context.Context, r *relation.Relation, phiT float64, b int)
 // objects stream from page stripes and the insertion pass is shared
 // with the resident path.
 func CompressColumns(ctx context.Context, c relation.Columns, phiT float64, b int) ([]int, int, error) {
-	objs, err := ObjectsColumns(c)
+	objs, err := ObjectsColumnsCtx(ctx, c)
 	if err != nil {
 		return nil, 0, err
 	}

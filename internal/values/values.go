@@ -9,9 +9,12 @@ package values
 import (
 	"context"
 	"sort"
+	"sync"
 
+	"structmine/internal/exec"
 	"structmine/internal/it"
 	"structmine/internal/limbo"
+	"structmine/internal/par"
 	"structmine/internal/relation"
 )
 
@@ -41,27 +44,34 @@ func Objects(r *relation.Relation) []limbo.Obj {
 // objects identical to the resident construction (the index lists the
 // same ascending tuple ids Stats.Tuples holds).
 func ObjectsColumns(c relation.Columns) ([]limbo.Obj, error) {
+	return ObjectsColumnsCtx(context.Background(), c)
+}
+
+// ObjectsColumnsCtx is ObjectsColumns under the context's worker
+// budget: the per-attribute index walks fan across workers, each
+// filling the objs[v] slots of its own attributes — disjoint writes,
+// pure per-value construction, so results are bit-identical for any
+// budget.
+func ObjectsColumnsCtx(ctx context.Context, c relation.Columns) ([]limbo.Obj, error) {
 	d := c.D()
 	m := c.M()
 	objs := make([]limbo.Obj, d)
-	var tuples []int32
-	for a := 0; a < m; a++ {
-		attr := a
-		err := c.VisitValues(a, func(v int32, count int, runs []relation.Run) error {
+	err := forAttrs(ctx, c.N(), m, func(w int, scratch *[]int32, attr int) error {
+		return c.VisitValues(attr, func(v int32, count int, runs []relation.Run) error {
 			counts := make([]int64, m)
 			counts[attr] = int64(count)
-			tuples = expandRuns(tuples[:0], runs)
+			*scratch = expandRuns((*scratch)[:0], runs)
 			objs[v] = limbo.Obj{
 				ID:     v,
 				W:      1.0 / float64(d),
-				Cond:   it.Uniform(tuples), // Uniform copies; tuples is reused
+				Cond:   it.Uniform(*scratch), // Uniform copies; scratch is reused
 				Counts: counts,
 			}
 			return nil
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return objs, nil
 }
@@ -71,12 +81,18 @@ func ObjectsColumns(c relation.Columns) ([]limbo.Obj, error) {
 // the same order the resident Stats scan feeds — so the float sums are
 // bit-identical.
 func ObjectsOverClustersColumns(c relation.Columns, tupleCluster []int, k int) ([]limbo.Obj, error) {
+	return ObjectsOverClustersColumnsCtx(context.Background(), c, tupleCluster, k)
+}
+
+// ObjectsOverClustersColumnsCtx is ObjectsOverClustersColumns under the
+// context's worker budget, parallelized per attribute like
+// ObjectsColumnsCtx.
+func ObjectsOverClustersColumnsCtx(ctx context.Context, c relation.Columns, tupleCluster []int, k int) ([]limbo.Obj, error) {
 	d := c.D()
 	m := c.M()
 	objs := make([]limbo.Obj, d)
-	for a := 0; a < m; a++ {
-		attr := a
-		err := c.VisitValues(a, func(v int32, count int, runs []relation.Run) error {
+	err := forAttrs(ctx, c.N(), m, func(w int, scratch *[]int32, attr int) error {
+		return c.VisitValues(attr, func(v int32, count int, runs []relation.Run) error {
 			counts := make([]int64, m)
 			counts[attr] = int64(count)
 			mass := map[int32]float64{}
@@ -101,11 +117,45 @@ func ObjectsOverClustersColumns(c relation.Columns, tupleCluster []int, k int) (
 			}
 			return nil
 		})
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return objs, nil
+}
+
+// forAttrs fans fn across the m attributes under the context's worker
+// budget (exec.ColScan kernel, work estimated as one unit per cell),
+// handing each worker a private reusable tuple-id scratch slice. The
+// first error (lowest attribute index wins) cancels the remainder.
+func forAttrs(ctx context.Context, n, m int, fn func(w int, scratch *[]int32, attr int) error) error {
+	work := n * m
+	workers := par.NumWorkers(ctx, exec.ColScan, m, work)
+	scratch := make([][]int32, workers)
+	var (
+		mu   sync.Mutex
+		errA = -1
+		err  error
+	)
+	par.ForChunk(ctx, exec.ColScan, m, work, func(w, lo, hi int) {
+		for a := lo; a < hi; a++ {
+			mu.Lock()
+			bail := errA >= 0 && errA < a
+			mu.Unlock()
+			if bail {
+				return
+			}
+			if e := fn(w, &scratch[w], a); e != nil {
+				mu.Lock()
+				if errA < 0 || a < errA {
+					errA, err = a, e
+				}
+				mu.Unlock()
+				return
+			}
+		}
+	})
+	return err
 }
 
 // expandRuns appends the tuple ids a run list covers, ascending.

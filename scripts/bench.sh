@@ -14,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_1.json}
-pattern=${BENCH_PATTERN:-'^(BenchmarkAIBInit|BenchmarkAgglomerate|BenchmarkMicroAIB|BenchmarkMicroEntropy|BenchmarkMicroJS|BenchmarkMicroDeltaISmallVsLarge|BenchmarkMicroDCFTreeInsert|BenchmarkDCFTreeInsert|BenchmarkTANE|BenchmarkColstoreScan|BenchmarkAppendRemine)$'}
+pattern=${BENCH_PATTERN:-'^(BenchmarkAIBInit|BenchmarkAgglomerate|BenchmarkMicroAIB|BenchmarkMicroEntropy|BenchmarkMicroJS|BenchmarkMicroDeltaISmallVsLarge|BenchmarkMicroDCFTreeInsert|BenchmarkDCFTreeInsert|BenchmarkTANE|BenchmarkPagedScan|BenchmarkPagedTANE|BenchmarkAppendRemine)$'}
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT

@@ -12,11 +12,24 @@
 #
 #   scripts/benchcmp.sh --ratio RUN.json SLOW_NAME FAST_NAME MIN_RATIO
 #
-# For every cpus width at which both benchmarks appear, it asserts
-# ns(SLOW) / ns(FAST) >= MIN_RATIO and exits nonzero otherwise. CI uses
-# this to prove delta re-mining stays delta-cost: the full-rediscovery
+# For every cpus width at which the pair appears, it asserts
+# ns(SLOW) / ns(FAST) >= MIN_RATIO and exits nonzero otherwise. A width
+# where only one side was measured is itself a failure — a silently
+# half-missing pair would pass a gate that never ran. CI uses this to
+# prove delta re-mining stays delta-cost: the full-rediscovery
 # benchmark must run at least MIN_RATIO times longer than the delta
 # path, on the same runner in the same run, so runner noise cancels out.
+#
+# Parity mode gates the other direction — an overhead ceiling:
+#
+#   scripts/benchcmp.sh --parity RUN.json SLOW_NAME FAST_NAME WARN_X FAIL_X
+#
+# For every width it computes ns(SLOW) / ns(FAST) and warns above
+# WARN_X, exits nonzero above FAIL_X. PARITY_CPUS (comma-separated
+# widths, e.g. "4") restricts which widths are gated; the others are
+# still printed for the log but never warn or fail. CI uses this to
+# keep the paged pipelines within a constant factor of the resident
+# ones (see the paged-parity job).
 #
 # A regression beyond WARN_PCT (default 10) prints a warning; beyond
 # FAIL_PCT (default 50) the script exits nonzero. Speed-ups and
@@ -35,19 +48,41 @@ if ! command -v jq >/dev/null 2>&1; then
   exit 1
 fi
 
+# pair_widths RUN SLOW FAST emits one tab-separated line per cpus width
+# at which either benchmark appears: "cpus<TAB>slow_ns<TAB>fast_ns",
+# with the literal word "missing" standing in for an absent side.
+pair_widths() {
+  jq -r --arg slow "$2" --arg fast "$3" '
+    ( [.benchmarks[] | select(.name == $slow) | {(.cpus // 1 | tostring): .ns_per_op}] | add // {} ) as $s
+    | ( [.benchmarks[] | select(.name == $fast) | {(.cpus // 1 | tostring): .ns_per_op}] | add // {} ) as $f
+    | ( ($s + $f) | keys ) as $widths
+    | $widths[]
+    | [., (($s[.] // "missing") | tostring), (($f[.] // "missing") | tostring)] | @tsv' "$1"
+}
+
+check_run_json() {
+  [ -f "$1" ] || { echo "benchcmp: FAIL — no such file: $1" >&2; exit 2; }
+  jq -e '.benchmarks | type == "array"' "$1" >/dev/null \
+    || { echo "benchcmp: FAIL — $1 is not a bench.sh JSON file" >&2; exit 2; }
+}
+
 if [ "${1:-}" = --ratio ]; then
   if [ $# -ne 5 ]; then
     echo "usage: scripts/benchcmp.sh --ratio RUN.json SLOW_NAME FAST_NAME MIN_RATIO" >&2
     exit 2
   fi
   run=$2 slow=$3 fast=$4 min=$5
-  [ -f "$run" ] || { echo "benchcmp: FAIL — no such file: $run" >&2; exit 2; }
-  jq -e '.benchmarks | type == "array"' "$run" >/dev/null \
-    || { echo "benchcmp: FAIL — $run is not a bench.sh JSON file" >&2; exit 2; }
+  check_run_json "$run"
 
   fail=0 seen=0
   while IFS=$'\t' read -r cpus s f; do
     seen=1
+    if [ "$s" = missing ] || [ "$f" = missing ]; then
+      [ "$s" = missing ] && absent=$slow || absent=$fast
+      echo "benchcmp: FAIL — @ ${cpus}cpu only one side of the ratio pair was measured: '$absent' is missing from $run (check BENCH_PATTERN and BENCH_CPUS)" >&2
+      fail=1
+      continue
+    fi
     ratio=$(awk -v s="$s" -v f="$f" 'BEGIN { printf "%.2f", s / f }')
     if awk -v r="$ratio" -v m="$min" 'BEGIN { exit !(r >= m) }'; then
       verdict=ok
@@ -56,21 +91,68 @@ if [ "${1:-}" = --ratio ]; then
     fi
     printf 'benchcmp: %-5s %s/%s @ %scpu: %s / %s = %sx (need >= %sx)\n' \
       "$verdict" "$slow" "$fast" "$cpus" "$s" "$f" "$ratio" "$min"
-  done < <(jq -r --arg slow "$slow" --arg fast "$fast" '
-    ( [.benchmarks[] | select(.name == $slow) | {(.cpus // 1 | tostring): .ns_per_op}] | add // {} ) as $s
-    | ( [.benchmarks[] | select(.name == $fast) | {(.cpus // 1 | tostring): .ns_per_op}] | add // {} ) as $f
-    | $s | keys[] | select($f[.] != null)
-    | [., ($s[.] | tostring), ($f[.] | tostring)] | @tsv' "$run")
+  done < <(pair_widths "$run" "$slow" "$fast")
 
   if [ "$seen" -eq 0 ]; then
-    echo "benchcmp: FAIL — $run has no cpus width with both '$slow' and '$fast'" >&2
+    echo "benchcmp: FAIL — neither '$slow' nor '$fast' appears in $run (check BENCH_PATTERN)" >&2
     exit 1
   fi
   if [ "$fail" -ne 0 ]; then
-    echo "benchcmp: FAIL — '$fast' is not at least ${min}x cheaper than '$slow'" >&2
+    echo "benchcmp: FAIL — '$fast' is not at least ${min}x cheaper than '$slow' at every measured width" >&2
     exit 1
   fi
   echo "benchcmp: PASS (ratio >= ${min}x at every measured width)"
+  exit 0
+fi
+
+if [ "${1:-}" = --parity ]; then
+  if [ $# -ne 6 ]; then
+    echo "usage: scripts/benchcmp.sh --parity RUN.json SLOW_NAME FAST_NAME WARN_X FAIL_X" >&2
+    exit 2
+  fi
+  run=$2 slow=$3 fast=$4 warn_x=$5 fail_x=$6
+  check_run_json "$run"
+
+  # PARITY_CPUS selects which widths are gated ("4" or "1,4"); unset
+  # gates every measured width.
+  gated_width() {
+    [ -z "${PARITY_CPUS:-}" ] && return 0
+    case ",${PARITY_CPUS}," in *",$1,"*) return 0 ;; *) return 1 ;; esac
+  }
+
+  fail=0 seen=0
+  while IFS=$'\t' read -r cpus s f; do
+    seen=1
+    if [ "$s" = missing ] || [ "$f" = missing ]; then
+      [ "$s" = missing ] && absent=$slow || absent=$fast
+      echo "benchcmp: FAIL — @ ${cpus}cpu only one side of the parity pair was measured: '$absent' is missing from $run (check BENCH_PATTERN and BENCH_CPUS)" >&2
+      fail=1
+      continue
+    fi
+    ratio=$(awk -v s="$s" -v f="$f" 'BEGIN { printf "%.2f", s / f }')
+    verdict=ok
+    if gated_width "$cpus"; then
+      if awk -v r="$ratio" -v t="$fail_x" 'BEGIN { exit !(r > t) }'; then
+        verdict=FAIL; fail=1
+      elif awk -v r="$ratio" -v t="$warn_x" 'BEGIN { exit !(r > t) }'; then
+        verdict=WARN
+      fi
+    else
+      verdict=info # width not gated by PARITY_CPUS
+    fi
+    printf 'benchcmp: %-5s %s/%s @ %scpu: %s / %s = %sx (warn > %sx, fail > %sx)\n' \
+      "$verdict" "$slow" "$fast" "$cpus" "$s" "$f" "$ratio" "$warn_x" "$fail_x"
+  done < <(pair_widths "$run" "$slow" "$fast")
+
+  if [ "$seen" -eq 0 ]; then
+    echo "benchcmp: FAIL — neither '$slow' nor '$fast' appears in $run (check BENCH_PATTERN)" >&2
+    exit 1
+  fi
+  if [ "$fail" -ne 0 ]; then
+    echo "benchcmp: FAIL — '$slow' exceeds ${fail_x}x of '$fast' (paged overhead ceiling; see DESIGN.md)" >&2
+    exit 1
+  fi
+  echo "benchcmp: PASS (parity ratio <= ${fail_x}x at every gated width)"
   exit 0
 fi
 

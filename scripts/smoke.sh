@@ -316,6 +316,58 @@ curl -sS "$base/v1/metrics" | grep '^structmine_colstore_pages_read_total' >/dev
   || { echo "smoke: FAIL — colstore page-read counter missing from /v1/metrics"; exit 1; }
 echo "smoke: colstore series exposed on /v1/metrics"
 
+# --- primitive cache assertions -------------------------------------------
+# A second submission for the same (hash, epoch) with different params
+# misses the artifact cache (params are part of its key) but must serve
+# its single-attribute primitives from the primitive cache the first job
+# filled. After an append bumps the epoch, the cache must NOT serve the
+# stale entries: the re-mine recomputes, so misses increase.
+pmetric() {
+  curl -sS "$base/v1/metrics" | awk -v n="$1" '$1 == n { print $2; f = 1 } END { if (!f) print 0 }'
+}
+phits0=$(pmetric structmine_primcache_hits_total)
+pjob2=$(curl -sS -X POST -H 'Content-Type: application/json' \
+  -d "{\"dataset\":\"$ds\",\"task\":\"rank-fds\",\"params\":{\"psi\":0.7}}" "$base/v1/jobs")
+p2id=$(echo "$pjob2" | jq -r .id)
+p2hit=$(echo "$pjob2" | jq -r .cache_hit)
+[ "$p2hit" != true ] || { echo "smoke: FAIL — different-params submission was an artifact cache hit"; exit 1; }
+p2state=$(echo "$pjob2" | jq -r .state)
+for _ in $(seq 1 600); do
+  case "$p2state" in done) break ;; failed|canceled)
+    echo "smoke: FAIL — paged job $p2id reached state $p2state"; exit 1 ;; esac
+  sleep 0.1
+  p2state=$(curl -sS "$base/v1/jobs/$p2id" | jq -r .state)
+done
+[ "$p2state" = done ] || { echo "smoke: FAIL — paged job $p2id stuck in $p2state"; exit 1; }
+phits1=$(pmetric structmine_primcache_hits_total)
+if [ "$phits1" -le "$phits0" ]; then
+  echo "smoke: FAIL — second (hash, epoch) submission did not hit the primitive cache (hits $phits0 -> $phits1)"; exit 1
+fi
+echo "smoke: primitive cache hit on the second submission (hits $phits0 -> $phits1)"
+
+pmiss0=$(pmetric structmine_primcache_misses_total)
+head -n1 "$workdir/db2sample.csv" > "$workdir/pappend.csv"
+tail -n3 "$workdir/db2sample.csv" >> "$workdir/pappend.csv"
+pafter=$(curl -sS -X POST --data-binary @"$workdir/pappend.csv" \
+  -H 'Content-Type: text/csv' "$base/v1/datasets/$ds/append")
+pep=$(echo "$pafter" | jq -r .epoch)
+[ "$pep" = 1 ] || { echo "smoke: FAIL — paged append did not bump the epoch (epoch=$pep)"; exit 1; }
+pjob3=$(submit)
+p3id=$(echo "$pjob3" | jq -r .id)
+p3state=$(echo "$pjob3" | jq -r .state)
+for _ in $(seq 1 600); do
+  case "$p3state" in done) break ;; failed|canceled)
+    echo "smoke: FAIL — post-append paged job $p3id reached state $p3state"; exit 1 ;; esac
+  sleep 0.1
+  p3state=$(curl -sS "$base/v1/jobs/$p3id" | jq -r .state)
+done
+[ "$p3state" = done ] || { echo "smoke: FAIL — post-append paged job $p3id stuck in $p3state"; exit 1; }
+pmiss1=$(pmetric structmine_primcache_misses_total)
+if [ "$pmiss1" -le "$pmiss0" ]; then
+  echo "smoke: FAIL — epoch bump did not invalidate the primitive cache (misses $pmiss0 -> $pmiss1)"; exit 1
+fi
+echo "smoke: epoch bump invalidated the primitive cache (misses $pmiss0 -> $pmiss1)"
+
 echo "smoke: SIGKILL the budgeted daemon and restart over the same store"
 kill -KILL "$pid"
 for _ in $(seq 1 100); do
