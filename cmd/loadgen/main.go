@@ -1,0 +1,395 @@
+// Command loadgen drives a structmined replica set with an open-loop
+// mixed workload and writes a machine-readable BENCH_LOAD.json report.
+//
+// The driver pre-registers a handful of fixed CSV datasets and runs a
+// handful of describe jobs to completion, then replays a request mix —
+// idempotent re-registers, job submissions, job polls, result fetches,
+// and paginated lists — against the whole target set at a ramp of
+// offered request rates. Requests are fired on a fixed clock (open
+// loop), so a slow server accumulates concurrency instead of slowing
+// the offered rate: the gap between offered and achieved QPS is the
+// saturation signal.
+//
+// The report carries one entry per ramp level (offered/achieved QPS,
+// p50/p99 latency, error rate, 5xx count) plus two headline numbers:
+// sustained_qps, the best achieved rate at any level, and knee_qps,
+// the highest offered rate the set still served at >=90% of offered.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// sample is one completed request: wall latency, HTTP status (0 on a
+// transport failure), and whether the transport itself failed.
+type sample struct {
+	latency time.Duration
+	status  int
+	failed  bool
+}
+
+type levelResult struct {
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	ErrorRate   float64 `json:"error_rate"`
+	Status5xx   int     `json:"status_5xx"`
+	Status429   int     `json:"status_429"`
+	Requests    int     `json:"requests"`
+}
+
+type report struct {
+	Targets      []string      `json:"targets"`
+	DurationSecs float64       `json:"level_duration_secs"`
+	SustainedQPS float64       `json:"sustained_qps"`
+	KneeQPS      float64       `json:"knee_qps"`
+	Levels       []levelResult `json:"levels"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	targets := fs.String("targets", "", "comma-separated base URLs of the replica set (required)")
+	rates := fs.String("rates", "5,10,20,40", "comma-separated offered QPS ramp levels")
+	dur := fs.Duration("duration", 5*time.Second, "time spent at each ramp level")
+	tenant := fs.String("tenant", "loadgen", "X-Tenant header on submissions")
+	nDatasets := fs.Int("datasets", 3, "fixed datasets to pre-register")
+	out := fs.String("out", "BENCH_LOAD.json", "report output path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bases := splitList(*targets)
+	if len(bases) == 0 {
+		return fmt.Errorf("-targets is required (comma-separated base URLs)")
+	}
+	levels, err := parseRates(*rates)
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: 15 * time.Second}
+	w := &worker{client: client, bases: bases, tenant: *tenant}
+	if err := w.setup(*nDatasets); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "loadgen: %d datasets warm across %d targets; ramp %v at %s/level\n",
+		len(w.datasets), len(bases), levels, *dur)
+
+	rep := report{Targets: bases, DurationSecs: dur.Seconds()}
+	for _, rate := range levels {
+		res := w.runLevel(rate, *dur)
+		rep.Levels = append(rep.Levels, res)
+		fmt.Fprintf(stdout, "loadgen: offered %.0f qps -> achieved %.1f qps, p50 %.1fms p99 %.1fms, err %.2f%%, 5xx %d\n",
+			res.OfferedQPS, res.AchievedQPS, res.P50Ms, res.P99Ms, 100*res.ErrorRate, res.Status5xx)
+	}
+	rep.SustainedQPS = sustained(rep.Levels)
+	rep.KneeQPS = findKnee(rep.Levels)
+	fmt.Fprintf(stdout, "loadgen: sustained %.1f qps, knee at %.0f qps offered\n", rep.SustainedQPS, rep.KneeQPS)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*out, append(buf, '\n'), 0o644)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, strings.TrimRight(part, "/"))
+		}
+	}
+	return out
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad rate %q: want a positive number", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no ramp levels in %q", s)
+	}
+	return out, nil
+}
+
+// fixedCSV is the i-th deterministic toy instance. Content hashes are
+// stable run to run, so re-registration is idempotent and rendezvous
+// placement is reproducible.
+func fixedCSV(i int) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "K%d,V%d,W%d\n", i, i, i)
+	for r := 0; r < 60; r++ {
+		fmt.Fprintf(&b, "%d,%d,%d\n", r, (r*7+i)%13, (r*3+i)%5)
+	}
+	return b.Bytes()
+}
+
+type worker struct {
+	client   *http.Client
+	bases    []string
+	tenant   string
+	datasets []string // dataset ids
+	jobs     []string // completed job ids (poll / result targets)
+}
+
+func (w *worker) do(method, url string, contentType string, body []byte) sample {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		return sample{failed: true}
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	req.Header.Set("X-Tenant", w.tenant)
+	start := time.Now()
+	resp, err := w.client.Do(req)
+	s := sample{latency: time.Since(start)}
+	if err != nil {
+		s.failed = true
+		return s
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.status = resp.StatusCode
+	return s
+}
+
+// setup registers the fixed datasets round-robin across the targets
+// (the owner answers regardless of which node takes the request) and
+// runs one describe job per dataset to completion so result fetches
+// have something to hit.
+func (w *worker) setup(n int) error {
+	for i := 0; i < n; i++ {
+		base := w.bases[i%len(w.bases)]
+		req, err := http.NewRequest("POST", base+"/v1/datasets?name=load-"+strconv.Itoa(i),
+			bytes.NewReader(fixedCSV(i)))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "text/csv")
+		req.Header.Set("X-Tenant", w.tenant)
+		resp, err := w.client.Do(req)
+		if err != nil {
+			return fmt.Errorf("register dataset %d via %s: %w", i, base, err)
+		}
+		var ds struct {
+			ID string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&ds)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode >= 300 || ds.ID == "" {
+			return fmt.Errorf("register dataset %d via %s: status %d (%v)", i, base, resp.StatusCode, err)
+		}
+		w.datasets = append(w.datasets, ds.ID)
+
+		id, err := w.submitAndWait(base, ds.ID)
+		if err != nil {
+			return err
+		}
+		w.jobs = append(w.jobs, id)
+	}
+	return nil
+}
+
+func (w *worker) submitAndWait(base, dataset string) (string, error) {
+	body, _ := json.Marshal(map[string]any{"dataset": dataset, "task": "describe"})
+	req, err := http.NewRequest("POST", base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", w.tenant)
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&job)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode >= 300 || job.ID == "" {
+		return "", fmt.Errorf("warm submit on %s: status %d (%v)", base, resp.StatusCode, err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for job.State != "done" {
+		if job.State == "failed" || job.State == "canceled" {
+			return "", fmt.Errorf("warm job %s ended %s", job.ID, job.State)
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("warm job %s stuck in %s", job.ID, job.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+		resp, err := w.client.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			return "", err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+	}
+	return job.ID, nil
+}
+
+// nextOp picks one request from the mix. The rng is only consulted
+// here, under the caller's lock, so the stream is deterministic for a
+// given seed regardless of completion order.
+func (w *worker) nextOp(rng *rand.Rand) func() sample {
+	base := w.bases[rng.Intn(len(w.bases))]
+	ds := w.datasets[rng.Intn(len(w.datasets))]
+	job := w.jobs[rng.Intn(len(w.jobs))]
+	switch rng.Intn(10) {
+	case 0: // idempotent re-register: exercises the proxied write path
+		i := rng.Intn(len(w.datasets))
+		csv := fixedCSV(i)
+		return func() sample {
+			return w.do("POST", base+"/v1/datasets?name=load-"+strconv.Itoa(i), "text/csv", csv)
+		}
+	case 1, 2: // submit (cache-hit after the warmup pass)
+		body, _ := json.Marshal(map[string]any{"dataset": ds, "task": "describe"})
+		return func() sample { return w.do("POST", base+"/v1/jobs", "application/json", body) }
+	case 3, 4: // poll a known job
+		return func() sample { return w.do("GET", base+"/v1/jobs/"+job, "", nil) }
+	case 5: // fetch its artifact
+		return func() sample { return w.do("GET", base+"/v1/jobs/"+job+"/result", "", nil) }
+	case 6: // dataset detail
+		return func() sample { return w.do("GET", base+"/v1/datasets/"+ds, "", nil) }
+	case 7: // paginated dataset list
+		return func() sample { return w.do("GET", base+"/v1/datasets?limit=50", "", nil) }
+	case 8: // paginated job list
+		return func() sample { return w.do("GET", base+"/v1/jobs?limit=50", "", nil) }
+	default: // health probe
+		return func() sample { return w.do("GET", base+"/v1/healthz", "", nil) }
+	}
+}
+
+// runLevel fires requests open-loop at the offered rate for the
+// duration, then waits for stragglers and summarizes.
+func (w *worker) runLevel(rate float64, d time.Duration) levelResult {
+	rng := rand.New(rand.NewSource(42))
+	interval := time.Duration(float64(time.Second) / rate)
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for time.Since(start) < d {
+		<-tick.C
+		op := w.nextOp(rng)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := op()
+			mu.Lock()
+			samples = append(samples, s)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return summarize(rate, time.Since(start), samples)
+}
+
+// summarize reduces one level's samples to the reported aggregates.
+// Error rate counts transport failures and 5xx; throttling (429) is
+// the admission layer doing its job and is reported separately.
+func summarize(offered float64, elapsed time.Duration, samples []sample) levelResult {
+	r := levelResult{OfferedQPS: offered, Requests: len(samples)}
+	if len(samples) == 0 || elapsed <= 0 {
+		return r
+	}
+	lats := make([]float64, 0, len(samples))
+	bad := 0
+	for _, s := range samples {
+		lats = append(lats, float64(s.latency)/float64(time.Millisecond))
+		if s.failed || s.status >= 500 {
+			bad++
+		}
+		if s.status >= 500 {
+			r.Status5xx++
+		}
+		if s.status == http.StatusTooManyRequests {
+			r.Status429++
+		}
+	}
+	sort.Float64s(lats)
+	r.AchievedQPS = round(float64(len(samples))/elapsed.Seconds(), 2)
+	r.P50Ms = round(percentile(lats, 50), 2)
+	r.P99Ms = round(percentile(lats, 99), 2)
+	r.ErrorRate = round(float64(bad)/float64(len(samples)), 4)
+	return r
+}
+
+// percentile is the nearest-rank percentile of an ascending slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// sustained is the best achieved rate at any level.
+func sustained(levels []levelResult) float64 {
+	best := 0.0
+	for _, l := range levels {
+		if l.AchievedQPS > best {
+			best = l.AchievedQPS
+		}
+	}
+	return best
+}
+
+// findKnee is the highest offered rate the set still served at >=90%
+// of offered: past it, the open loop outruns the servers.
+func findKnee(levels []levelResult) float64 {
+	knee := 0.0
+	for _, l := range levels {
+		if l.OfferedQPS > knee && l.AchievedQPS >= 0.9*l.OfferedQPS {
+			knee = l.OfferedQPS
+		}
+	}
+	return knee
+}
+
+func round(v float64, digits int) float64 {
+	scale := math.Pow(10, float64(digits))
+	return math.Round(v*scale) / scale
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"structmine/internal/server"
+)
+
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{nil, 50, 0},
+		{[]float64{7}, 99, 7},
+		{[]float64{1, 2, 3, 4}, 50, 2},
+		{[]float64{1, 2, 3, 4}, 99, 4},
+		{[]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 50, 5},
+		{[]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 90, 9},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.p); got != c.want {
+			t.Errorf("percentile(%v, %v) = %v, want %v", c.sorted, c.p, got, c.want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	samples := []sample{
+		{latency: 10 * time.Millisecond, status: 200},
+		{latency: 20 * time.Millisecond, status: 200},
+		{latency: 30 * time.Millisecond, status: 429},
+		{latency: 40 * time.Millisecond, status: 503},
+		{latency: 50 * time.Millisecond, failed: true},
+	}
+	r := summarize(10, 1*time.Second, samples)
+	if r.Requests != 5 || r.AchievedQPS != 5 {
+		t.Fatalf("requests/achieved = %d/%v", r.Requests, r.AchievedQPS)
+	}
+	if r.Status5xx != 1 || r.Status429 != 1 {
+		t.Fatalf("5xx/429 = %d/%d", r.Status5xx, r.Status429)
+	}
+	// 5xx + transport failure are errors; the 429 is not.
+	if r.ErrorRate != 0.4 {
+		t.Fatalf("error rate = %v, want 0.4", r.ErrorRate)
+	}
+	if r.P50Ms != 30 || r.P99Ms != 50 {
+		t.Fatalf("p50/p99 = %v/%v", r.P50Ms, r.P99Ms)
+	}
+	if z := summarize(10, time.Second, nil); z.Requests != 0 || z.AchievedQPS != 0 {
+		t.Fatalf("empty level = %+v", z)
+	}
+}
+
+func TestKneeAndSustained(t *testing.T) {
+	levels := []levelResult{
+		{OfferedQPS: 10, AchievedQPS: 10},
+		{OfferedQPS: 20, AchievedQPS: 19},   // 95% of offered: still on the curve
+		{OfferedQPS: 40, AchievedQPS: 22},   // collapsed
+		{OfferedQPS: 80, AchievedQPS: 21.5}, // stays collapsed
+	}
+	if got := findKnee(levels); got != 20 {
+		t.Fatalf("knee = %v, want 20", got)
+	}
+	if got := sustained(levels); got != 22 {
+		t.Fatalf("sustained = %v, want 22", got)
+	}
+	if got := findKnee(nil); got != 0 {
+		t.Fatalf("knee of no levels = %v", got)
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates(" 5, 10 ,40")
+	if err != nil || len(got) != 3 || got[0] != 5 || got[2] != 40 {
+		t.Fatalf("parseRates = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-3", "fast"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunAgainstServer drives the full loadgen flow against one real
+// in-process node and checks the report invariants: every level saw
+// traffic, no 5xx at this trivial load, and the knee is nonzero.
+func TestRunAgainstServer(t *testing.T) {
+	s := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+
+	out := filepath.Join(t.TempDir(), "BENCH_LOAD.json")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-targets", ts.URL,
+		"-rates", "20,50",
+		"-duration", "1s",
+		"-datasets", "2",
+		"-out", out,
+	}, &stdout)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, stdout.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report: %v\n%s", err, raw)
+	}
+	if len(rep.Levels) != 2 {
+		t.Fatalf("levels = %d, want 2", len(rep.Levels))
+	}
+	for i, l := range rep.Levels {
+		if l.Requests == 0 || l.AchievedQPS == 0 {
+			t.Fatalf("level %d saw no traffic: %+v", i, l)
+		}
+		if l.Status5xx != 0 {
+			t.Fatalf("level %d: %d server errors at trivial load", i, l.Status5xx)
+		}
+	}
+	if rep.SustainedQPS <= 0 || rep.KneeQPS <= 0 {
+		t.Fatalf("headline numbers: sustained %v knee %v", rep.SustainedQPS, rep.KneeQPS)
+	}
+	if !strings.Contains(stdout.String(), "sustained") {
+		t.Fatalf("missing summary line in output:\n%s", stdout.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-rates", "5"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing -targets should fail")
+	}
+	if err := run([]string{"-targets", "http://x", "-rates", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad rates should fail")
+	}
+}

@@ -54,7 +54,30 @@
 //	GET  /v1/metrics             Prometheus text exposition (engine + server + store metrics)
 //
 // Errors are uniform JSON envelopes with machine-readable codes:
-// {"error":{"code":"dataset_not_found","message":"..."}}.
+// {"error":{"code":"dataset_not_found","message":"..."}}. Every 429
+// (queue_full, rate_limited, quota_exceeded, dataset_limit) carries a
+// Retry-After header.
+//
+// Passing -peers "http://a:8421,http://b:8421" (with -node naming this
+// node's own URL in that list) starts the daemon in cluster mode: each
+// dataset has one owning replica chosen by rendezvous hashing of its
+// content hash, and every node transparently proxies requests for
+// datasets it does not own to the owner — clients may talk to any
+// replica. Peer health is probed continuously; requests for a dataset
+// whose owner is down answer 503 peer_unavailable until it recovers.
+// /v1/healthz and /v1/metrics always describe the node answering, never
+// a peer.
+//
+// Per-tenant admission control reads the X-Tenant request header
+// (absent = "default"): -tenant-rate/-tenant-burst bound each tenant's
+// job submissions with a token bucket (429 rate_limited), and
+// -tenant-max-jobs caps each tenant's queued+running jobs (429
+// quota_exceeded). Submissions may carry "priority":"interactive"
+// (default) or "batch"; queued interactive jobs always run first.
+//
+// -serve-deprecated=false disables the pre-/v1 bare-path aliases: they
+// answer 410 gone instead (the aliases otherwise carry Deprecation and
+// Sunset headers announcing their removal date).
 //
 // Passing -pprof additionally mounts net/http/pprof under /debug/pprof/.
 // Like the rest of the surface it is unauthenticated — only enable it on
@@ -73,9 +96,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"structmine/internal/cluster"
 	"structmine/internal/relation"
 	"structmine/internal/server"
 	"structmine/internal/store"
@@ -111,11 +136,39 @@ func run(args []string, ready chan<- string) error {
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (unauthenticated; loopback only)")
 	persist := fs.String("persist", "", "directory for the durable store (empty = memory only; state survives restarts and crashes)")
 	fsyncWrites := fs.Bool("fsync", false, "fsync every durable write (with -persist; survives power loss at a latency cost)")
+	peers := fs.String("peers", "", "comma-separated base URLs of every replica, this node included (empty = single node)")
+	node := fs.String("node", "", "this node's base URL within -peers (default: http://<addr>)")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "peer health-probe interval in cluster mode")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant sustained job submissions per second (0 = unlimited)")
+	tenantBurst := fs.Int("tenant-burst", 0, "per-tenant submission burst size (default ceil of -tenant-rate)")
+	tenantMaxJobs := fs.Int("tenant-max-jobs", 0, "per-tenant cap on queued+running jobs (0 = unlimited)")
+	serveDeprecated := fs.Bool("serve-deprecated", true, "serve the pre-/v1 bare-path aliases (false turns them into 410 gone)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *residentBytes > 0 && *persist == "" {
 		return fmt.Errorf("-resident-bytes needs -persist: the paged tier stores colstore files under the durable store")
+	}
+
+	var router *cluster.Router
+	if *peers != "" {
+		self := *node
+		if self == "" {
+			self = "http://" + *addr
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		var err error
+		router, err = cluster.New(self, peerList, *probeInterval)
+		if err != nil {
+			return err
+		}
+		defer router.Close()
+		fmt.Printf("cluster mode: node %s in a %d-replica set\n", router.Self().ID, router.Table().Len())
 	}
 
 	var st *store.Store
@@ -151,6 +204,13 @@ func run(args []string, ready chan<- string) error {
 		CacheEntries:   *cacheEntries,
 		EnablePprof:    *enablePprof,
 		Store:          st,
+		Router:         router,
+		Tenant: server.TenantLimits{
+			Rate:    *tenantRate,
+			Burst:   *tenantBurst,
+			MaxJobs: *tenantMaxJobs,
+		},
+		DisableDeprecated: !*serveDeprecated,
 	})
 	for _, path := range fs.Args() {
 		ds, _, err := srv.Registry().RegisterPath(path)

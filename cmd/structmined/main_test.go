@@ -47,13 +47,16 @@ func TestDaemonLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var datasets []struct {
-		ID string `json:"id"`
+	var dsPage struct {
+		Items []struct {
+			ID string `json:"id"`
+		} `json:"items"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&datasets); err != nil {
+	if err := json.NewDecoder(resp.Body).Decode(&dsPage); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	datasets := dsPage.Items
 	if len(datasets) != 1 {
 		t.Fatalf("datasets = %d, want the pre-registered one", len(datasets))
 	}
@@ -184,13 +187,15 @@ func TestDaemonPersistRestart(t *testing.T) {
 
 	// First life: register via CLI, run one job to completion.
 	base, errc := boot("-addr", "127.0.0.1:0", "-workers", "1", "-persist", storeDir, path)
-	var datasets []struct {
-		ID string `json:"id"`
+	var dsPage struct {
+		Items []struct {
+			ID string `json:"id"`
+		} `json:"items"`
 	}
-	if code := getJSON(base, "/v1/datasets", &datasets); code != http.StatusOK || len(datasets) != 1 {
-		t.Fatalf("datasets: %d (%d listed)", code, len(datasets))
+	if code := getJSON(base, "/v1/datasets", &dsPage); code != http.StatusOK || len(dsPage.Items) != 1 {
+		t.Fatalf("datasets: %d (%d listed)", code, len(dsPage.Items))
 	}
-	dsID := datasets[0].ID
+	dsID := dsPage.Items[0].ID
 	body, _ := json.Marshal(map[string]any{"dataset": dsID, "task": "mine-fds"})
 	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -221,10 +226,10 @@ func TestDaemonPersistRestart(t *testing.T) {
 	base, errc = boot("-addr", "127.0.0.1:0", "-workers", "1", "-persist", storeDir)
 	defer stop(errc)
 
-	datasets = nil
-	if code := getJSON(base, "/v1/datasets", &datasets); code != http.StatusOK ||
-		len(datasets) != 1 || datasets[0].ID != dsID {
-		t.Fatalf("recovered datasets: %d (%+v), want %s", code, datasets, dsID)
+	dsPage.Items = nil
+	if code := getJSON(base, "/v1/datasets", &dsPage); code != http.StatusOK ||
+		len(dsPage.Items) != 1 || dsPage.Items[0].ID != dsID {
+		t.Fatalf("recovered datasets: %d (%+v), want %s", code, dsPage.Items, dsID)
 	}
 	var rec struct {
 		State     string `json:"state"`

@@ -1,0 +1,163 @@
+// Package cluster turns a set of structmined replicas into one logical
+// service. Datasets are sharded across the replica set by deterministic
+// rendezvous (highest-random-weight) hashing of their content hash: for
+// a fixed peer set every dataset has exactly one owner, every node
+// computes the same owner with no coordination, and membership changes
+// move only the keys that must move (adding a peer steals only the keys
+// it now wins; removing a peer reassigns only the keys it owned).
+//
+// Every node runs in router mode: a request for a dataset the node does
+// not own is transparently proxied to the owner over the same /v1 wire
+// protocol the client speaks, with a hop-count header preventing proxy
+// loops and per-peer health probes (with backoff) short-circuiting
+// requests to a dead owner into a 503 peer_unavailable envelope.
+//
+// The content-addressed artifact tier composes with sharding for free:
+// artifact keys are (dataset hash, task, params), so any replica that
+// holds a copy of an artifact — for example via a shared durable store
+// directory — can serve it without owning the dataset.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// Node is one replica of the cluster, identified by its advertised base
+// URL (scheme://host:port, no trailing slash).
+type Node struct {
+	// ID is the node's stable identity: the normalized base URL. It is
+	// both the rendezvous-hash seed and the metrics label, so it must be
+	// configured identically on every node.
+	ID string
+	// URL is the base URL requests are proxied to (equal to ID).
+	URL string
+}
+
+// RouteKeyLen is how many leading hex characters of a dataset content
+// hash the rendezvous hash consumes. Short dataset ids are hash
+// prefixes of at least this length, so a request addressed by short id,
+// extended id, or full hash routes to the same owner.
+const RouteKeyLen = 12
+
+// RouteKey canonicalizes a dataset id or content hash into the routing
+// key: the first RouteKeyLen characters, lowercased. Identifiers
+// shorter than that (only malformed client input) route on their full
+// text so they still map to exactly one node.
+func RouteKey(idOrHash string) string {
+	k := strings.ToLower(idOrHash)
+	if len(k) > RouteKeyLen {
+		k = k[:RouteKeyLen]
+	}
+	return k
+}
+
+// Table is an immutable rendezvous-hash view of a replica set. All
+// methods are safe for concurrent use.
+type Table struct {
+	nodes []Node
+}
+
+// NormalizeURL canonicalizes a peer address: a missing scheme defaults
+// to http, the path must be empty, and trailing slashes are dropped —
+// so flag values like "127.0.0.1:8421" and "http://127.0.0.1:8421/"
+// name the same node on every replica.
+func NormalizeURL(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", fmt.Errorf("cluster: empty peer address")
+	}
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("cluster: peer address %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("cluster: peer address %q: scheme must be http or https", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("cluster: peer address %q has no host", raw)
+	}
+	if (u.Path != "" && u.Path != "/") || u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("cluster: peer address %q must be a bare base URL", raw)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+// NewTable builds the rendezvous table for a peer set. Addresses are
+// normalized and deduplicated; order does not matter (every permutation
+// yields the same table).
+func NewTable(peers []string) (*Table, error) {
+	seen := map[string]bool{}
+	nodes := make([]Node, 0, len(peers))
+	for _, p := range peers {
+		u, err := NormalizeURL(p)
+		if err != nil {
+			return nil, err
+		}
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		nodes = append(nodes, Node{ID: u, URL: u})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: peer set is empty")
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	return &Table{nodes: nodes}, nil
+}
+
+// Nodes returns the peer set in stable (ID) order.
+func (t *Table) Nodes() []Node {
+	out := make([]Node, len(t.nodes))
+	copy(out, t.nodes)
+	return out
+}
+
+// Len returns the replica count.
+func (t *Table) Len() int { return len(t.nodes) }
+
+// Contains reports whether the normalized address names a table member.
+func (t *Table) Contains(id string) bool {
+	for _, n := range t.nodes {
+		if n.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// score is the highest-random-weight value of (node, key): the first 8
+// bytes of SHA-256(nodeID || 0x00 || key) as a big-endian integer. The
+// separator keeps (node="a", key="bc") and (node="ab", key="c") from
+// colliding by concatenation.
+func score(nodeID, key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(nodeID))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the unique owner of a routing key: the node with the
+// highest rendezvous score, ties broken by node ID so the winner is
+// total-order deterministic on every replica.
+func (t *Table) Owner(key string) Node {
+	best := t.nodes[0]
+	bestScore := score(best.ID, key)
+	for _, n := range t.nodes[1:] {
+		if s := score(n.ID, key); s > bestScore || (s == bestScore && n.ID > best.ID) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}

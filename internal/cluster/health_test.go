@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestProberRecovery: a peer marked unhealthy is re-probed with backoff
+// and flips back to healthy once its health endpoint answers again.
+func TestProberRecovery(t *testing.T) {
+	var up atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		if !up.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	peer, err := NormalizeURL(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProber([]Node{{ID: peer, URL: peer}}, 20*time.Millisecond)
+	p.Start()
+	defer p.Stop()
+
+	if !p.Healthy(peer) {
+		t.Fatal("peers must start healthy")
+	}
+	p.MarkUnhealthy(peer)
+	if p.Healthy(peer) {
+		t.Fatal("MarkUnhealthy did not take")
+	}
+	// Down: probes keep failing; the peer must stay unhealthy.
+	time.Sleep(100 * time.Millisecond)
+	if p.Healthy(peer) {
+		t.Fatal("peer recovered while its endpoint still fails")
+	}
+	// Up: within a few backoff windows the prober must notice.
+	up.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for !p.Healthy(peer) {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never recovered the peer")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if p.HealthyCount() != 1 {
+		t.Fatalf("HealthyCount = %d, want 1", p.HealthyCount())
+	}
+}
+
+// TestProberBackoffSpacing: consecutive failures space the next probe
+// out (exponential backoff, capped).
+func TestProberBackoffSpacing(t *testing.T) {
+	p := NewProber([]Node{{ID: "http://down:1", URL: "http://down:1"}}, 20*time.Millisecond)
+	// No Start: drive record directly.
+	var waits []time.Duration
+	for i := 0; i < 8; i++ {
+		before := time.Now()
+		p.record("http://down:1", false)
+		p.mu.Lock()
+		waits = append(waits, p.peers["http://down:1"].next.Sub(before))
+		p.mu.Unlock()
+	}
+	for i := 1; i < len(waits); i++ {
+		if waits[i] < waits[i-1]-time.Millisecond {
+			t.Fatalf("backoff shrank: %v then %v", waits[i-1], waits[i])
+		}
+	}
+	if max := waits[len(waits)-1]; max > p.maxWait+time.Millisecond {
+		t.Fatalf("backoff %v exceeds the %v ceiling", max, p.maxWait)
+	}
+	if waits[0] >= waits[len(waits)-1] {
+		t.Fatalf("backoff never grew: first %v, last %v", waits[0], waits[len(waits)-1])
+	}
+}

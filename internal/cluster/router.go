@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"structmine/internal/obs"
+)
+
+// HopHeader marks a proxied request. A node receiving a request that
+// already carries it never proxies again: it answers from local state
+// (or 404s), so a stale routing table on one node cannot create a proxy
+// loop — every request travels at most one hop.
+const HopHeader = "X-Structmine-Hop"
+
+// ErrPeerUnavailable reports that the rendezvous owner of a dataset is
+// currently unreachable; handlers map it to a 503 peer_unavailable
+// envelope.
+var ErrPeerUnavailable = errors.New("cluster: dataset owner is unavailable")
+
+// forwardedHeaders are the request headers a proxied request carries to
+// the owner; everything else is connection-local.
+var forwardedHeaders = []string{"Content-Type", "X-Tenant", "X-Priority"}
+
+// Router gives one node the cluster view: who it is, who its peers
+// are, which node owns a routing key, whether that node is healthy, and
+// how to forward a request there. A Router is safe for concurrent use.
+type Router struct {
+	self   Node
+	table  *Table
+	prober *Prober
+	client *http.Client
+
+	// routes remembers which peer answered a proxied job submission, so
+	// later polls of that job id go straight to the node that owns it
+	// without a scatter. Bounded FIFO: cluster routing stays correct
+	// (scatter is the fallback) even when entries are evicted.
+	mu       sync.Mutex
+	routes   map[string]string
+	routeSeq []string
+
+	// metrics, registered once into the owning server's registry.
+	metricsOnce sync.Once
+	proxied     *obs.CounterVec // structmine_cluster_proxied_requests_total{peer}
+	unhealthy   *obs.GaugeVec   // structmine_cluster_peer_unhealthy{peer}
+	ownerMoves  *obs.Counter    // structmine_cluster_owner_moves_total
+}
+
+// maxRememberedRoutes bounds the job-id route memory.
+const maxRememberedRoutes = 8192
+
+// New builds the node's router. self must be one of peers (the flag
+// lists every replica, this node included); probeInterval tunes the
+// health prober (0 = default). Call Close to stop the prober.
+func New(self string, peers []string, probeInterval time.Duration) (*Router, error) {
+	selfURL, err := NormalizeURL(self)
+	if err != nil {
+		return nil, err
+	}
+	table, err := NewTable(peers)
+	if err != nil {
+		return nil, err
+	}
+	if !table.Contains(selfURL) {
+		return nil, fmt.Errorf("cluster: self address %s is not in the peer set", selfURL)
+	}
+	r := &Router{
+		self:   Node{ID: selfURL, URL: selfURL},
+		table:  table,
+		prober: NewProber(table.Nodes(), probeInterval),
+		client: &http.Client{Timeout: 30 * time.Second},
+		routes: map[string]string{},
+	}
+	r.prober.Start()
+	return r, nil
+}
+
+// Close stops the health prober.
+func (r *Router) Close() { r.prober.Stop() }
+
+// Self returns this node's identity.
+func (r *Router) Self() Node { return r.self }
+
+// Table returns the rendezvous table.
+func (r *Router) Table() *Table { return r.table }
+
+// Prober returns the health tracker (exposed for tests and healthz).
+func (r *Router) Prober() *Prober { return r.prober }
+
+// Owner returns the rendezvous owner of a dataset id or hash.
+func (r *Router) Owner(idOrHash string) Node {
+	return r.table.Owner(RouteKey(idOrHash))
+}
+
+// OwnsLocally reports whether this node is the rendezvous owner.
+func (r *Router) OwnsLocally(idOrHash string) bool {
+	return r.Owner(idOrHash).ID == r.self.ID
+}
+
+// NoteOwnerMove records serving a dataset from local state although the
+// rendezvous table names another owner (a dataset registered before the
+// cluster was configured, or placed by an operator-side path
+// registration).
+func (r *Router) NoteOwnerMove() {
+	if r.ownerMoves != nil {
+		r.ownerMoves.Inc()
+	}
+}
+
+// RememberRoute records that a job id lives on a peer, so later
+// requests for it skip the scatter.
+func (r *Router) RememberRoute(jobID, peer string) {
+	if jobID == "" || peer == "" || peer == r.self.ID {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.routes[jobID]; !ok {
+		r.routeSeq = append(r.routeSeq, jobID)
+		if len(r.routeSeq) > maxRememberedRoutes {
+			delete(r.routes, r.routeSeq[0])
+			r.routeSeq = r.routeSeq[1:]
+		}
+	}
+	r.routes[jobID] = peer
+}
+
+// RouteFor returns the remembered peer for a job id.
+func (r *Router) RouteFor(jobID string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	peer, ok := r.routes[jobID]
+	return peer, ok
+}
+
+// Hopped reports whether the request already crossed a proxy hop (and
+// therefore must be answered from local state).
+func Hopped(req *http.Request) bool { return req.Header.Get(HopHeader) != "" }
+
+// HealthyPeers returns the peers (excluding self) currently believed
+// reachable, in stable order — the scatter set for job-id lookups.
+func (r *Router) HealthyPeers() []Node {
+	var out []Node
+	for _, n := range r.table.Nodes() {
+		if n.ID != r.self.ID && r.prober.Healthy(n.ID) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// relayedHeaders are the response headers a proxied answer carries back
+// to the client unchanged.
+var relayedHeaders = []string{"Content-Type", "Retry-After", "Deprecation", "Sunset"}
+
+// Fetch sends the request (with the given body) to a peer and returns
+// the peer's response without writing anything to the client — the
+// caller decides whether to relay it (Relay) or try another peer. The
+// hop header travels with it, so the peer answers from local state. On
+// a transport failure the peer is marked unhealthy and err is non-nil.
+func (r *Router) Fetch(req *http.Request, peer Node, body []byte) (status int, header http.Header, data []byte, err error) {
+	out, err := http.NewRequestWithContext(req.Context(), req.Method,
+		peer.URL+req.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	for _, h := range forwardedHeaders {
+		if v := req.Header.Get(h); v != "" {
+			out.Header.Set(h, v)
+		}
+	}
+	out.Header.Set(HopHeader, "1")
+	resp, err := r.client.Do(out)
+	if err != nil {
+		r.prober.MarkUnhealthy(peer.ID)
+		r.setUnhealthyGauge(peer.ID, true)
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(resp.Body)
+	if err != nil {
+		r.prober.MarkUnhealthy(peer.ID)
+		r.setUnhealthyGauge(peer.ID, true)
+		return 0, nil, nil, err
+	}
+	if r.proxied != nil {
+		r.proxied.With(peer.ID).Inc()
+	}
+	return resp.StatusCode, resp.Header, data, nil
+}
+
+// Relay writes a fetched peer response to the client verbatim: status,
+// content headers, and body bytes are exactly what the owner produced,
+// so a proxied artifact is byte-identical to a direct request.
+func Relay(w http.ResponseWriter, status int, header http.Header, data []byte) {
+	for _, h := range relayedHeaders {
+		if v := header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}
+
+// Forward proxies the request to a peer and relays the response
+// (Fetch + Relay). The returned body is also handed back to the caller
+// (route memory); handled reports whether a response was written. On a
+// dead peer nothing is written and the peer is marked unhealthy so the
+// caller can fall back or 503.
+func (r *Router) Forward(w http.ResponseWriter, req *http.Request, peer Node, body []byte) (respBody []byte, status int, handled bool) {
+	status, header, data, err := r.Fetch(req, peer, body)
+	if err != nil {
+		return nil, 0, false
+	}
+	Relay(w, status, header, data)
+	return data, status, true
+}
+
+// RegisterMetrics wires the cluster metric families into a registry
+// (the owning server's): proxied request counts and unhealthy flags per
+// peer, owner moves for the node. Idempotent.
+func (r *Router) RegisterMetrics(m *obs.Registry) {
+	r.metricsOnce.Do(func() {
+		r.proxied = m.CounterVec("structmine_cluster_proxied_requests_total",
+			"Requests this node proxied to a peer, by peer.", "peer")
+		r.unhealthy = m.GaugeVec("structmine_cluster_peer_unhealthy",
+			"1 while the peer is believed unreachable, 0 while healthy.", "peer")
+		r.ownerMoves = m.Counter("structmine_cluster_owner_moves_total",
+			"Requests served from local state although the rendezvous table names another owner.")
+		for _, n := range r.table.Nodes() {
+			if n.ID != r.self.ID {
+				r.unhealthy.With(n.ID).Set(0)
+			}
+		}
+		r.prober.OnChange(func(peer string, healthy bool) {
+			r.setUnhealthyGauge(peer, !healthy)
+		})
+	})
+}
+
+func (r *Router) setUnhealthyGauge(peer string, bad bool) {
+	if r.unhealthy == nil {
+		return
+	}
+	if bad {
+		r.unhealthy.With(peer).Set(1)
+	} else {
+		r.unhealthy.With(peer).Set(0)
+	}
+}

@@ -81,11 +81,13 @@ func TestGoldenContracts(t *testing.T) {
 	// golden; re-derive it from the live response to address routes.
 	var ds Dataset
 	{
-		var list []Dataset
-		if code, body := doJSON(t, "GET", ts.URL+"/v1/datasets", nil, &list); code != http.StatusOK || len(list) != 1 {
+		var page struct {
+			Items []Dataset `json:"items"`
+		}
+		if code, body := doJSON(t, "GET", ts.URL+"/v1/datasets", nil, &page); code != http.StatusOK || len(page.Items) != 1 {
 			t.Fatalf("list: %d %s", code, body)
 		}
-		ds = list[0]
+		ds = page.Items[0]
 	}
 	do("dataset_get.json", "GET", "/v1/datasets/"+ds.ID, nil, http.StatusOK)
 	do("tasks_list.json", "GET", "/v1/tasks", nil, http.StatusOK)

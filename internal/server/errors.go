@@ -4,8 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
+	"time"
 
+	"structmine/internal/cluster"
 	"structmine/internal/relation"
 )
 
@@ -26,7 +30,33 @@ var (
 	// ErrStoreWrite reports that durable persistence of new state failed;
 	// the mutation is rolled back rather than left memory-only.
 	ErrStoreWrite = errors.New("server: durable store write failed")
+	// ErrRateLimited reports a tenant that exhausted its token bucket.
+	ErrRateLimited = errors.New("server: tenant rate limit exceeded")
+	// ErrQuotaExceeded reports a tenant at its concurrent-jobs quota.
+	ErrQuotaExceeded = errors.New("server: tenant concurrent-jobs quota exceeded")
+	// ErrGone reports a request for a sunset (deprecated, now disabled)
+	// route alias.
+	ErrGone = errors.New("server: deprecated alias disabled; use the /v1 route")
 )
+
+// retryAfterError wraps a 429 sentinel with the seconds a client should
+// wait before retrying; writeErrFor surfaces it as a Retry-After header.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e retryAfterError) Error() string { return e.err.Error() }
+func (e retryAfterError) Unwrap() error { return e.err }
+
+// retrySeconds renders a wait as whole Retry-After seconds, at least 1.
+func retrySeconds(d time.Duration) string {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
+}
 
 // Error envelope codes — the machine-readable half of every error
 // response. These are API contract: clients switch on them, so existing
@@ -48,6 +78,10 @@ const (
 	CodeStoreWrite      = "store_write_failed"
 	CodeShapeMismatch   = "shape_mismatch"
 	CodeOverBudget      = "over_budget"
+	CodeRateLimited     = "rate_limited"
+	CodeQuotaExceeded   = "quota_exceeded"
+	CodeGone            = "gone"
+	CodePeerUnavailable = "peer_unavailable"
 )
 
 // apiError is the wire shape of one error.
@@ -85,8 +119,16 @@ func errStatus(err error) (int, string) {
 		return http.StatusBadRequest, CodeTaskNotRunnable
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests, CodeQueueFull
+	case errors.Is(err, ErrRateLimited):
+		return http.StatusTooManyRequests, CodeRateLimited
+	case errors.Is(err, ErrQuotaExceeded):
+		return http.StatusTooManyRequests, CodeQuotaExceeded
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable, CodeDraining
+	case errors.Is(err, cluster.ErrPeerUnavailable):
+		return http.StatusServiceUnavailable, CodePeerUnavailable
+	case errors.Is(err, ErrGone):
+		return http.StatusGone, CodeGone
 	case errors.Is(err, ErrDatasetLimit):
 		return http.StatusTooManyRequests, CodeDatasetLimit
 	case errors.Is(err, ErrStoreWrite):
@@ -102,8 +144,20 @@ func errStatus(err error) (int, string) {
 	}
 }
 
-// writeErrFor renders the envelope for a typed error.
+// writeErrFor renders the envelope for a typed error. Every throttled
+// response (any 429: queue-full, tenant rate limit, tenant quota, or
+// the dataset cap) carries a Retry-After header — a rate-limit error
+// knows exactly how long until the next token, everything else advises
+// one second.
 func writeErrFor(w http.ResponseWriter, err error) {
 	status, code := errStatus(err)
+	if status == http.StatusTooManyRequests {
+		after := time.Second
+		var ra retryAfterError
+		if errors.As(err, &ra) {
+			after = ra.after
+		}
+		w.Header().Set("Retry-After", retrySeconds(after))
+	}
 	writeAPIErr(w, status, code, "%v", err)
 }

@@ -1,14 +1,18 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
+	"structmine/internal/cluster"
 	"structmine/internal/obs"
 	"structmine/internal/task"
 )
@@ -30,13 +34,20 @@ func (s *Server) routes() {
 	}
 	// api mounts one endpoint twice: the canonical /v1 route, and the
 	// pre-versioning alias at the bare path. The alias serves the exact
-	// same payload but answers with a "Deprecation: true" header so
-	// clients can migrate; each registration keeps its own metrics route
-	// label. New endpoints are added under /v1 only.
+	// same payload but answers with "Deprecation: true" and a Sunset
+	// date so clients can migrate; each registration keeps its own
+	// metrics route label. With DisableDeprecated set the alias instead
+	// answers 410 gone — the dry run for the sunset itself. New
+	// endpoints are added under /v1 only.
 	api := func(method, path string, h http.HandlerFunc) {
 		handle(method+" /v1"+path, h)
 		handle(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+			if s.cfg.DisableDeprecated {
+				writeErrFor(w, ErrGone)
+				return
+			}
 			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Sunset", AliasSunset)
 			h(w, r)
 		})
 	}
@@ -62,6 +73,10 @@ func (s *Server) routes() {
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 }
+
+// AliasSunset is the Sunset header (RFC 8594) on every deprecated
+// bare-path alias: the date after which the aliases may be removed.
+const AliasSunset = "Fri, 01 Jan 2027 00:00:00 GMT"
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -99,8 +114,17 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Decode the upload far enough to know the CSV content bytes. In
+	// router mode the content hash is the routing key: the registration
+	// is proxied (original body, original Content-Type) to the
+	// rendezvous owner before any local state is touched, so the same
+	// content registers on the same node no matter which replica the
+	// client hit. Path registrations stay node-local: the path names
+	// this node's filesystem.
 	var ds *Dataset
 	var created bool
+	var csv []byte
+	var regName, regPath string
 	ct := r.Header.Get("Content-Type")
 	switch {
 	case strings.HasPrefix(ct, "application/json"):
@@ -111,15 +135,9 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		}
 		switch {
 		case req.Path != "":
-			var resolved string
-			resolved, err = s.resolveDataPath(req.Path)
-			if err != nil {
-				writeAPIErr(w, http.StatusForbidden, CodePathForbidden, "%v", err)
-				return
-			}
-			ds, created, err = s.reg.RegisterPath(resolved)
+			regPath = req.Path
 		case req.CSV != "":
-			ds, created, err = s.reg.RegisterCSV(req.Name, "upload", []byte(req.CSV))
+			csv, regName = []byte(req.CSV), req.Name
 		default:
 			writeAPIErr(w, http.StatusBadRequest, CodeBadRequest,
 				"request needs either \"path\" or \"csv\"")
@@ -130,7 +148,24 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 			writeAPIErr(w, http.StatusBadRequest, CodeBadRequest, "empty CSV body")
 			return
 		}
-		ds, created, err = s.reg.RegisterCSV(r.URL.Query().Get("name"), "upload", body)
+		csv, regName = body, r.URL.Query().Get("name")
+	}
+	if csv != nil {
+		hash := sha256.Sum256(csv)
+		if s.routeDataset(w, r, hex.EncodeToString(hash[:]), body) {
+			return
+		}
+		ds, created, err = s.reg.RegisterCSV(regName, "upload", csv)
+	} else {
+		resolved, perr := s.resolveDataPath(regPath)
+		if perr != nil {
+			writeAPIErr(w, http.StatusForbidden, CodePathForbidden, "%v", perr)
+			return
+		}
+		ds, created, err = s.reg.RegisterPath(resolved)
+		if err == nil && s.cfg.Router != nil && !s.cfg.Router.OwnsLocally(ds.Hash) {
+			s.cfg.Router.NoteOwnerMove()
+		}
 	}
 	if err != nil {
 		switch {
@@ -171,6 +206,9 @@ func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request) {
 		writeAPIErr(w, http.StatusBadRequest, CodeBadRequest, "empty CSV body")
 		return
 	}
+	if s.routeDataset(w, r, r.PathValue("id"), body) {
+		return
+	}
 	ds, err := s.reg.AppendCSV(r.PathValue("id"), body)
 	if err != nil {
 		writeErrFor(w, err)
@@ -179,11 +217,63 @@ func (s *Server) handleAppendDataset(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ds)
 }
 
+// listPage is the envelope of the paginated list endpoints: one page
+// of items, the corpus total, and the cursor addressing the next page
+// (absent on the last page). Pass the cursor back verbatim as ?cursor=
+// to continue; cursors are positions in a stable sort order, so they
+// survive concurrent mutation without skipping or repeating items.
+type listPage struct {
+	Items      any    `json:"items"`
+	Total      int    `json:"total"`
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// Pagination bounds for the list endpoints.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// pageParams parses ?limit= and ?cursor=. It reports ok=false after
+// writing the 400 for a malformed limit.
+func pageParams(w http.ResponseWriter, r *http.Request) (limit int, cursor string, ok bool) {
+	limit = defaultPageLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeAPIErr(w, http.StatusBadRequest, CodeBadRequest,
+				"limit must be a positive integer, got %q", raw)
+			return 0, "", false
+		}
+		limit = min(n, maxPageLimit)
+	}
+	return limit, r.URL.Query().Get("cursor"), true
+}
+
+// datasetItem is one dataset list entry: the dataset plus, in router
+// mode, the id of the node the rendezvous table names as its owner.
+type datasetItem struct {
+	*Dataset
+	Node string `json:"node,omitempty"`
+}
+
 func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.reg.List())
+	limit, cursor, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	page, next, total := s.reg.Page(cursor, limit)
+	items := make([]datasetItem, 0, len(page))
+	for _, ds := range page {
+		items = append(items, datasetItem{Dataset: ds, Node: s.ownerOf(ds.Hash)})
+	}
+	writeJSON(w, http.StatusOK, listPage{Items: items, Total: total, NextCursor: next})
 }
 
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	if s.routeDataset(w, r, r.PathValue("id"), nil) {
+		return
+	}
 	ds, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
 		writeAPIErr(w, http.StatusNotFound, CodeDatasetNotFound,
@@ -198,21 +288,38 @@ type submitRequest struct {
 	Dataset string      `json:"dataset"`
 	Task    string      `json:"task"`
 	Params  task.Params `json:"params"`
+	// Priority selects the queue class: "interactive" (the default) or
+	// "batch"; every queued interactive job runs before any batch job.
+	Priority string `json:"priority,omitempty"`
 }
 
 // maxJobBodyBytes bounds POST /v1/jobs request bodies; submissions are
 // small JSON documents, far below dataset uploads.
 const maxJobBodyBytes = 1 << 20
 
+// tenantOf extracts the request's admission key from the X-Tenant
+// header (DefaultTenant when absent).
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return DefaultTenant
+}
+
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
-	var req submitRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBodyBytes)).Decode(&req); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJobBodyBytes))
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeAPIErr(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 				"job submission exceeds %d bytes", tooBig.Limit)
 			return
 		}
+		writeAPIErr(w, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
+		return
+	}
+	var req submitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
 		writeAPIErr(w, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -221,7 +328,34 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 			"request needs \"dataset\" and \"task\"")
 		return
 	}
-	view, err := s.jobs.Submit(req.Dataset, req.Task, req.Params)
+	priority, err := ParsePriority(req.Priority)
+	if err != nil {
+		writeAPIErr(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	// In router mode the job runs where its dataset lives: the
+	// submission is proxied to the rendezvous owner, and the returned
+	// job id is remembered so later polls go straight there.
+	if rt := s.cfg.Router; rt != nil && !cluster.Hopped(r) {
+		if _, ok := s.reg.Get(req.Dataset); !ok {
+			if owner := rt.Owner(req.Dataset); owner.ID != rt.Self().ID {
+				if !rt.Prober().Healthy(owner.ID) {
+					writeErrFor(w, cluster.ErrPeerUnavailable)
+					return
+				}
+				respBody, status, handled := rt.Forward(w, r, owner, body)
+				if !handled {
+					writeErrFor(w, cluster.ErrPeerUnavailable)
+					return
+				}
+				s.rememberSubmittedJob(owner.ID, status, respBody)
+				return
+			}
+		} else if !rt.OwnsLocally(req.Dataset) {
+			rt.NoteOwnerMove()
+		}
+	}
+	view, err := s.jobs.SubmitAs(tenantOf(r), priority, req.Dataset, req.Task, req.Params)
 	if err != nil {
 		writeErrFor(w, err)
 		return
@@ -233,11 +367,31 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, view)
 }
 
+// jobItem is one job list entry: the job plus, in router mode, the id
+// of this node — job records are node-local, so the listing node is
+// the owning node.
+type jobItem struct {
+	JobView
+	Node string `json:"node,omitempty"`
+}
+
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.jobs.List())
+	limit, cursor, ok := pageParams(w, r)
+	if !ok {
+		return
+	}
+	page, next, total := s.jobs.Page(cursor, limit)
+	items := make([]jobItem, 0, len(page))
+	for _, v := range page {
+		items = append(items, jobItem{JobView: v, Node: s.nodeID()})
+	}
+	writeJSON(w, http.StatusOK, listPage{Items: items, Total: total, NextCursor: next})
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	if s.routeJob(w, r, r.PathValue("id")) {
+		return
+	}
 	view, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
 		writeAPIErr(w, http.StatusNotFound, CodeJobNotFound,
@@ -254,6 +408,9 @@ type jobResult struct {
 }
 
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	if s.routeJob(w, r, r.PathValue("id")) {
+		return
+	}
 	res, view, ok := s.jobs.Result(r.PathValue("id"))
 	if !ok {
 		writeAPIErr(w, http.StatusNotFound, CodeJobNotFound,
@@ -278,6 +435,9 @@ type jobTrace struct {
 }
 
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	if s.routeJob(w, r, r.PathValue("id")) {
+		return
+	}
 	rep, view, ok := s.jobs.Trace(r.PathValue("id"))
 	if !ok {
 		writeAPIErr(w, http.StatusNotFound, CodeJobNotFound,
@@ -304,6 +464,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	if s.routeJob(w, r, r.PathValue("id")) {
+		return
+	}
 	view, ok := s.jobs.Cancel(r.PathValue("id"))
 	if !ok {
 		writeAPIErr(w, http.StatusNotFound, CodeJobNotFound,
@@ -313,14 +476,26 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
-// healthz is the liveness and stats payload.
+// healthz is the liveness and stats payload. It is always node-local:
+// even in router mode it reports the node that answered, never a peer
+// — the prober depends on that, and so does any operator reading one
+// replica's health.
 type healthz struct {
-	Status   string      `json:"status"`
-	Draining bool        `json:"draining"`
-	Datasets int         `json:"datasets"`
-	Jobs     int         `json:"jobs"`
-	Cache    CacheStats  `json:"cache"`
-	Store    *storeStats `json:"store,omitempty"`
+	Status   string        `json:"status"`
+	Draining bool          `json:"draining"`
+	Datasets int           `json:"datasets"`
+	Jobs     int           `json:"jobs"`
+	Cache    CacheStats    `json:"cache"`
+	Store    *storeStats   `json:"store,omitempty"`
+	Node     string        `json:"node,omitempty"`
+	Cluster  *clusterStats `json:"cluster,omitempty"`
+}
+
+// clusterStats is the healthz summary of the node's cluster view
+// (present only in router mode).
+type clusterStats struct {
+	Peers        int `json:"peers"`
+	HealthyPeers int `json:"healthy_peers"`
 }
 
 // storeStats is the healthz summary of the durable store (present only
@@ -347,6 +522,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			RecoveredJobs:     t.RecoveredJobs,
 			RecoveredArts:     t.RecoveredArtifacts,
 			DroppedJobRecords: t.DroppedJobRecords,
+		}
+	}
+	if rt := s.cfg.Router; rt != nil {
+		h.Node = rt.Self().ID
+		h.Cluster = &clusterStats{
+			Peers:        rt.Table().Len(),
+			HealthyPeers: rt.Prober().HealthyCount(),
 		}
 	}
 	writeJSON(w, http.StatusOK, h)

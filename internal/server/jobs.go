@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -49,9 +50,12 @@ type Job struct {
 	dataset   *Dataset // nil for records recovered from the journal
 	task      string
 	params    task.Params
-	key       string // artifact-cache key
-	hash      string // dataset content hash pinned at Submit (keys the primitive cache)
-	epoch     int    // dataset epoch pinned at Submit (keys the mine-state)
+	key       string   // artifact-cache key
+	hash      string   // dataset content hash pinned at Submit (keys the primitive cache)
+	epoch     int      // dataset epoch pinned at Submit (keys the mine-state)
+	tenant    string   // admission key (X-Tenant, DefaultTenant otherwise)
+	priority  Priority // queue class: interactive jobs dequeue before batch
+	quotaHeld bool     // true while the job holds a tenant concurrent-job slot
 
 	// Exactly one of rel/cols is set for executable jobs, pinned at
 	// Submit so a dataset evicted to the paged tier mid-queue still runs
@@ -81,6 +85,8 @@ type JobView struct {
 	State    State       `json:"state"`
 	Error    string      `json:"error,omitempty"`
 	CacheHit bool        `json:"cache_hit"`
+	Tenant   string      `json:"tenant"`
+	Priority Priority    `json:"priority"`
 	// Recovered marks a record replayed from the durable journal after a
 	// restart rather than executed by this process.
 	Recovered bool `json:"recovered,omitempty"`
@@ -90,6 +96,7 @@ func (j *Job) viewLocked() JobView {
 	return JobView{
 		ID: j.id, Dataset: j.datasetID, Task: j.task, Params: j.params,
 		State: j.state, Error: j.errMsg, CacheHit: j.cacheHit, Recovered: j.recovered,
+		Tenant: j.tenant, Priority: j.priority,
 	}
 }
 
@@ -106,6 +113,8 @@ type jobRecord struct {
 	State    State       `json:"state"`
 	Error    string      `json:"error,omitempty"`
 	CacheHit bool        `json:"cache_hit"`
+	Tenant   string      `json:"tenant,omitempty"`
+	Priority Priority    `json:"priority,omitempty"`
 }
 
 // Runner executes jobs on a bounded worker pool and records their
@@ -120,18 +129,23 @@ type Runner struct {
 	st      *store.Store     // optional journal (nil = memory only)
 	sched   *exec.Scheduler  // divides CPU cores fairly across concurrent jobs
 	prim    *primcache.Cache // optional (hash, epoch)-keyed primitive cache for paged jobs
+	tenants *tenants         // per-tenant rate limits and concurrent-job quotas
 	timeout time.Duration
 	retain  int // max job records kept; oldest terminal jobs beyond it are dropped
+	depth   int // combined queue bound across both priority classes
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signals workers when a job is queued or drain starts
 	jobs     map[string]*Job
 	order    []string
 	seq      int
 	draining bool
-	queue    chan *Job
+	// Two FIFO queues, one per priority class. Workers always drain
+	// high before low; within a class submission order is preserved.
+	high, low []*Job
 
 	workers sync.WaitGroup
 }
@@ -145,7 +159,7 @@ type Runner struct {
 // concurrently on the pool (nil = the process-wide exec.Default). A
 // non-nil prim serves single-attribute primitives of paged datasets
 // across jobs, keyed (hash, epoch, attr).
-func NewRunner(reg *Registry, cache *Cache, st *store.Store, sched *exec.Scheduler, prim *primcache.Cache, workers, depth int, timeout time.Duration, retain int) *Runner {
+func NewRunner(reg *Registry, cache *Cache, st *store.Store, sched *exec.Scheduler, prim *primcache.Cache, lim TenantLimits, workers, depth int, timeout time.Duration, retain int) *Runner {
 	if workers < 1 {
 		workers = 1
 	}
@@ -157,10 +171,12 @@ func NewRunner(reg *Registry, cache *Cache, st *store.Store, sched *exec.Schedul
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Runner{
-		reg: reg, cache: cache, st: st, sched: sched, prim: prim, timeout: timeout, retain: retain,
+		reg: reg, cache: cache, st: st, sched: sched, prim: prim,
+		tenants: newTenants(lim), timeout: timeout, retain: retain, depth: depth,
 		baseCtx: ctx, baseCancel: cancel,
-		jobs: map[string]*Job{}, queue: make(chan *Job, depth),
+		jobs: map[string]*Job{},
 	}
+	q.cond = sync.NewCond(&q.mu)
 	q.workers.Add(workers)
 	for i := 0; i < workers; i++ {
 		go q.worker()
@@ -174,6 +190,7 @@ func (j *Job) recordLocked() []byte {
 	data, err := json.Marshal(jobRecord{
 		ID: j.id, Dataset: j.datasetID, Task: j.task, Params: j.params,
 		Key: j.key, State: j.state, Error: j.errMsg, CacheHit: j.cacheHit,
+		Tenant: j.tenant, Priority: j.priority,
 	})
 	if err != nil {
 		return nil
@@ -208,9 +225,17 @@ func (q *Runner) Preload(records [][]byte) {
 		}
 		done := make(chan struct{})
 		close(done)
+		tenant, priority := jr.Tenant, jr.Priority
+		if tenant == "" {
+			tenant = DefaultTenant
+		}
+		if priority == "" {
+			priority = PriorityInteractive
+		}
 		job := &Job{
 			id: jr.ID, datasetID: jr.Dataset, task: jr.Task, params: jr.Params,
 			key: jr.Key, state: jr.State, errMsg: jr.Error, cacheHit: jr.CacheHit,
+			tenant: tenant, priority: priority,
 			recovered: true,
 			trace:     obs.TraceReport{Stages: []obs.StageTiming{}},
 			cancel:    func() {}, done: done,
@@ -225,11 +250,29 @@ func (q *Runner) Preload(records [][]byte) {
 	q.pruneLocked()
 }
 
-// Submit validates and enqueues one job. When the artifact cache already
-// holds the result of an identical query against the same dataset
-// content, the returned job is already done with CacheHit set and no
-// worker is consumed.
+// Submit validates and enqueues one job for the default tenant at
+// interactive priority. See SubmitAs.
 func (q *Runner) Submit(datasetID, taskName string, p task.Params) (JobView, error) {
+	return q.SubmitAs(DefaultTenant, PriorityInteractive, datasetID, taskName, p)
+}
+
+// SubmitAs validates and enqueues one job on behalf of a tenant. When
+// the artifact cache already holds the result of an identical query
+// against the same dataset content, the returned job is already done
+// with CacheHit set and no worker is consumed. Tenant admission applies
+// in order: the token bucket throttles the submission attempt itself,
+// then — only for submissions that would occupy a worker — the
+// concurrent-jobs quota must have a free slot.
+func (q *Runner) SubmitAs(tenant string, priority Priority, datasetID, taskName string, p task.Params) (JobView, error) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if priority == "" {
+		priority = PriorityInteractive
+	}
+	if err := q.tenants.admitRate(tenant); err != nil {
+		return JobView{}, err
+	}
 	spec, ok := task.Lookup(taskName)
 	if !ok {
 		return JobView{}, fmt.Errorf("%w %q", ErrUnknownTask, taskName)
@@ -272,6 +315,7 @@ func (q *Runner) Submit(datasetID, taskName string, p task.Params) (JobView, err
 		id: fmt.Sprintf("job-%06d", q.seq), datasetID: ds.ID, dataset: ds,
 		rel: rel, cols: cols,
 		task: taskName, params: p, hash: ds.Hash, epoch: ds.Epoch,
+		tenant: tenant, priority: priority,
 		key: Key(ds.Hash, ds.Epoch, taskName, p), state: StateQueued,
 		trace:     obs.TraceReport{Stages: []obs.StageTiming{}},
 		submitted: time.Now(),
@@ -291,19 +335,40 @@ func (q *Runner) Submit(datasetID, taskName string, p task.Params) (JobView, err
 		q.journal(rec)
 		return view, nil
 	}
-	select {
-	case q.queue <- job:
-	default:
+	if len(q.high)+len(q.low) >= q.depth {
 		cancel()
 		q.mu.Unlock()
 		return JobView{}, ErrQueueFull
 	}
+	// The quota slot is reserved under q.mu (its own lock nests inside),
+	// and returned when the job reaches any terminal state.
+	if err := q.tenants.admitJob(tenant); err != nil {
+		cancel()
+		q.mu.Unlock()
+		return JobView{}, err
+	}
+	job.quotaHeld = true
+	if priority == PriorityBatch {
+		q.low = append(q.low, job)
+	} else {
+		q.high = append(q.high, job)
+	}
+	q.cond.Signal()
 	q.jobs[job.id] = job
 	q.order = append(q.order, job.id)
 	q.pruneLocked()
 	view := job.viewLocked()
 	q.mu.Unlock()
 	return view, nil
+}
+
+// releaseQuotaLocked returns the job's tenant concurrent-job slot
+// exactly once. The caller holds q.mu.
+func (q *Runner) releaseQuotaLocked(job *Job) {
+	if job.quotaHeld {
+		job.quotaHeld = false
+		q.tenants.releaseJob(job.tenant)
+	}
 }
 
 // pruneLocked drops the oldest terminal job records once the retention
@@ -330,8 +395,39 @@ func (q *Runner) pruneLocked() {
 
 func (q *Runner) worker() {
 	defer q.workers.Done()
-	for job := range q.queue {
+	for {
+		job, ok := q.dequeue()
+		if !ok {
+			return
+		}
 		q.run(job)
+	}
+}
+
+// dequeue blocks until a job is available or the drain leaves both
+// queues empty. Interactive jobs always dequeue before batch jobs;
+// within a class the order is FIFO. Draining still hands out queued
+// jobs — accepted work finishes, only admission has stopped.
+func (q *Runner) dequeue() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.high) > 0 {
+			job := q.high[0]
+			q.high[0] = nil
+			q.high = q.high[1:]
+			return job, true
+		}
+		if len(q.low) > 0 {
+			job := q.low[0]
+			q.low[0] = nil
+			q.low = q.low[1:]
+			return job, true
+		}
+		if q.draining {
+			return nil, false
+		}
+		q.cond.Wait()
 	}
 }
 
@@ -433,6 +529,7 @@ func (q *Runner) run(job *Job) {
 		job.errMsg = err.Error()
 	}
 	close(job.done)
+	q.releaseQuotaLocked(job)
 	q.pruneLocked()
 	rec := job.recordLocked()
 	q.mu.Unlock()
@@ -463,8 +560,13 @@ func (q *Runner) Trace(id string) (obs.TraceReport, JobView, bool) {
 	return job.trace, job.viewLocked(), true
 }
 
-// QueueDepth returns how many accepted jobs are waiting for a worker.
-func (q *Runner) QueueDepth() int { return len(q.queue) }
+// QueueDepth returns how many accepted jobs are waiting for a worker,
+// across both priority classes.
+func (q *Runner) QueueDepth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.high) + len(q.low)
+}
 
 // StateCounts returns how many retained job records sit in each state.
 func (q *Runner) StateCounts() map[State]int {
@@ -499,6 +601,32 @@ func (q *Runner) Result(id string) (any, JobView, bool) {
 	return res, view, true
 }
 
+// Page returns one cursor page of jobs in id order: the first `limit`
+// jobs whose id sorts strictly after `cursor` (empty cursor = from the
+// start), the cursor addressing the next page ("" on the last page),
+// and the retained total. Ids are zero-padded sequence numbers, so
+// lexicographic order is submission order and a cursor stays stable
+// while jobs are submitted or pruned around it.
+func (q *Runner) Page(cursor string, limit int) (items []JobView, next string, total int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ids := make([]string, len(q.order))
+	copy(ids, q.order)
+	sort.Strings(ids)
+	total = len(ids)
+	start := sort.Search(len(ids), func(i int) bool { return ids[i] > cursor })
+	end := len(ids)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+		next = ids[end-1]
+	}
+	items = make([]JobView, 0, end-start)
+	for _, id := range ids[start:end] {
+		items = append(items, q.jobs[id].viewLocked())
+	}
+	return items, next, total
+}
+
 // List returns snapshots of every job in submission order.
 func (q *Runner) List() []JobView {
 	q.mu.Lock()
@@ -524,6 +652,7 @@ func (q *Runner) Cancel(id string) (JobView, bool) {
 		job.state = StateCanceled
 		job.errMsg = "canceled before execution"
 		close(job.done)
+		q.releaseQuotaLocked(job)
 		rec = job.recordLocked()
 	}
 	view := job.viewLocked()
@@ -558,7 +687,7 @@ func (q *Runner) StartDrain() {
 	defer q.mu.Unlock()
 	if !q.draining {
 		q.draining = true
-		close(q.queue)
+		q.cond.Broadcast()
 	}
 }
 

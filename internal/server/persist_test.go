@@ -76,10 +76,13 @@ func TestServerWarmRestart(t *testing.T) {
 	defer s2.Shutdown(context.Background())
 
 	// The dataset is resident again, same identity.
-	var list []Dataset
-	if code, body := doJSON(t, "GET", ts2.URL+"/v1/datasets", nil, &list); code != http.StatusOK {
+	var page struct {
+		Items []Dataset `json:"items"`
+	}
+	if code, body := doJSON(t, "GET", ts2.URL+"/v1/datasets", nil, &page); code != http.StatusOK {
 		t.Fatalf("list: %d %s", code, body)
 	}
+	list := page.Items
 	if len(list) != 1 || list[0].Hash != ds.Hash || list[0].ID != ds.ID {
 		t.Fatalf("recovered datasets = %+v, want id %s hash %s", list, ds.ID, ds.Hash)
 	}

@@ -532,6 +532,31 @@ func (g *Registry) List() []*Dataset {
 	return out
 }
 
+// Page returns one cursor page of datasets in content-hash order: the
+// first `limit` datasets whose hash sorts strictly after `cursor`
+// (empty cursor = from the start), plus the cursor addressing the next
+// page ("" on the last page) and the corpus total. Hash order makes the
+// cursor stable under concurrent registration: a dataset registered
+// mid-iteration is seen iff its hash sorts after the position already
+// consumed, and nothing is ever repeated.
+func (g *Registry) Page(cursor string, limit int) (items []*Dataset, next string, total int) {
+	g.mu.RLock()
+	all := make([]*Dataset, 0, len(g.byHash))
+	for _, ds := range g.byHash {
+		all = append(all, ds)
+	}
+	g.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].Hash < all[j].Hash })
+	total = len(all)
+	start := sort.Search(len(all), func(i int) bool { return all[i].Hash > cursor })
+	end := len(all)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+		next = all[end-1].Hash
+	}
+	return all[start:end], next, total
+}
+
 // Len returns the number of registered datasets (both tiers).
 func (g *Registry) Len() int {
 	g.mu.RLock()

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"structmine/internal/cluster"
+)
+
+// Cluster routing glue. With Config.Router set every node serves in
+// router mode: dataset-scoped requests whose rendezvous owner is
+// another replica are proxied there over the same /v1 wire protocol,
+// and job-id requests unknown locally are resolved through the
+// router's route memory or a one-hop scatter. Three invariants:
+//
+//   - local first: a dataset registered on this node is always served
+//     from local state (counted as an owner move when the rendezvous
+//     table names another node), so routing-table drift degrades to
+//     extra hops, never to wrong answers;
+//   - one hop max: a request already carrying the hop header is
+//     answered locally no matter what, so no proxy loop is possible;
+//   - node-local surfaces stay local: /v1/healthz and /v1/metrics
+//     always report this node, never a peer.
+
+// routeDataset applies cluster routing for a dataset-scoped request.
+// It reports true when the request was fully handled here (proxied to
+// the owner, or answered 503 because the owner is down); the caller
+// then returns without touching local state. body is the original
+// request body to forward (nil for GETs).
+func (s *Server) routeDataset(w http.ResponseWriter, r *http.Request, idOrHash string, body []byte) bool {
+	rt := s.cfg.Router
+	if rt == nil || cluster.Hopped(r) {
+		return false
+	}
+	if _, ok := s.reg.Get(idOrHash); ok {
+		if !rt.OwnsLocally(idOrHash) {
+			rt.NoteOwnerMove()
+		}
+		return false
+	}
+	owner := rt.Owner(idOrHash)
+	if owner.ID == rt.Self().ID {
+		return false // we own it (registered or not) — answer locally
+	}
+	if !rt.Prober().Healthy(owner.ID) {
+		writeErrFor(w, cluster.ErrPeerUnavailable)
+		return true
+	}
+	if _, _, handled := rt.Forward(w, r, owner, body); !handled {
+		writeErrFor(w, cluster.ErrPeerUnavailable)
+	}
+	return true
+}
+
+// routeJob resolves a job-id request that this node cannot answer.
+// Job ids are node-local (the submitting node numbers them), so there
+// is no rendezvous owner to compute; instead the router remembers
+// which peer answered each proxied submission, and falls back to a
+// one-hop scatter across the healthy peers. It reports true when a
+// peer's response was relayed; false means answer locally (which for
+// an unknown id is the usual 404).
+func (s *Server) routeJob(w http.ResponseWriter, r *http.Request, jobID string) bool {
+	rt := s.cfg.Router
+	if rt == nil || cluster.Hopped(r) {
+		return false
+	}
+	if _, ok := s.jobs.Get(jobID); ok {
+		return false
+	}
+	// Remembered route first: the peer that accepted the submission.
+	if peerID, ok := rt.RouteFor(jobID); ok && rt.Prober().Healthy(peerID) {
+		for _, n := range rt.Table().Nodes() {
+			if n.ID != peerID {
+				continue
+			}
+			if status, header, data, err := rt.Fetch(r, n, nil); err == nil {
+				cluster.Relay(w, status, header, data)
+				return true
+			}
+			break // owner down — fall through to the scatter
+		}
+	}
+	// Scatter: ask every healthy peer; the first one that recognizes
+	// the id answers, and the route is remembered for later polls.
+	for _, n := range rt.HealthyPeers() {
+		status, header, data, err := rt.Fetch(r, n, nil)
+		if err != nil || status == http.StatusNotFound {
+			continue
+		}
+		rt.RememberRoute(jobID, n.ID)
+		cluster.Relay(w, status, header, data)
+		return true
+	}
+	return false
+}
+
+// rememberSubmittedJob parses a proxied job submission's response and
+// records which peer owns the new job id, so later polls skip the
+// scatter.
+func (s *Server) rememberSubmittedJob(peerID string, status int, body []byte) {
+	if status != http.StatusOK && status != http.StatusAccepted {
+		return
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if json.Unmarshal(body, &v) == nil && v.ID != "" {
+		s.cfg.Router.RememberRoute(v.ID, peerID)
+	}
+}
+
+// nodeID returns this node's cluster identity ("" outside router
+// mode) — the value of healthz's node field and the owner labels on
+// list items.
+func (s *Server) nodeID() string {
+	if s.cfg.Router == nil {
+		return ""
+	}
+	return s.cfg.Router.Self().ID
+}
+
+// ownerOf returns the rendezvous owner's id for a dataset id or hash
+// ("" outside router mode).
+func (s *Server) ownerOf(idOrHash string) string {
+	if s.cfg.Router == nil {
+		return ""
+	}
+	return s.cfg.Router.Owner(idOrHash).ID
+}

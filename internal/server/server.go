@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"structmine/internal/cluster"
 	"structmine/internal/exec"
 	"structmine/internal/obs"
 	"structmine/internal/primcache"
@@ -91,6 +92,21 @@ type Config struct {
 	// default: the profiling surface is unauthenticated, so it should
 	// only be exposed deliberately (the daemon's -pprof flag).
 	EnablePprof bool
+	// Router, when non-nil, puts the server in cluster (router) mode:
+	// dataset-scoped requests whose rendezvous owner is another replica
+	// are transparently proxied there, and job-id requests unknown
+	// locally are resolved via the router's route memory or a one-hop
+	// scatter. Node-local surfaces (/v1/healthz, /v1/metrics) are never
+	// proxied. The router's lifecycle (Close) belongs to the caller.
+	Router *cluster.Router
+	// Tenant bounds per-tenant admission (X-Tenant header; zero values
+	// keep admission unlimited, exactly as before).
+	Tenant TenantLimits
+	// DisableDeprecated turns the pre-/v1 bare-path aliases into 410
+	// gone envelopes instead of serving them (the daemon's
+	// -serve-deprecated=false). The default keeps serving them with
+	// Deprecation and Sunset headers.
+	DisableDeprecated bool
 	// Store, when non-nil, makes the server durable: dataset snapshots
 	// are written before a registration is acknowledged, completed
 	// artifacts spill to disk, terminal jobs are journaled, and New
@@ -163,7 +179,7 @@ func New(cfg Config) *Server {
 	s.reg.budget = cfg.ResidentBytes
 	s.cache.st = cfg.Store
 	s.jobs = NewRunner(s.reg, s.cache, cfg.Store, exec.NewScheduler(cfg.Procs), primcache.New(cfg.PrimCacheBytes),
-		cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.MaxJobs)
+		cfg.Tenant, cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, cfg.MaxJobs)
 	if cfg.Store != nil {
 		for _, ld := range cfg.Store.Datasets() {
 			s.reg.Adopt(ld.Meta, ld.Rel)
@@ -225,6 +241,12 @@ func (s *Server) registerMetrics() {
 		})
 	if st := s.cfg.Store; st != nil {
 		s.registerStoreMetrics(st)
+	}
+	// Cluster families live in this server's registry too: /metrics
+	// always reports node-local state, never a peer's — the node-id
+	// guard the cluster tests pin.
+	if rt := s.cfg.Router; rt != nil {
+		rt.RegisterMetrics(m)
 	}
 }
 
